@@ -1,0 +1,263 @@
+// Command prbench runs the PageRank pipeline benchmark.
+//
+// Single run (all four kernels, in-memory storage):
+//
+//	prbench -scale 18 -variant csr
+//
+// Reproduce the paper's figures (edges/second vs. number of edges for every
+// implementation variant, kernels 0-3):
+//
+//	prbench -sweep -minscale 16 -maxscale 20
+//
+// Simulated distributed run with communication accounting:
+//
+//	prbench -scale 16 -procs 8
+//
+// Hardware-model predictions for the paper's platform:
+//
+//	prbench -scale 22 -predict
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/kronecker"
+	"repro/internal/pagerank"
+	"repro/internal/perfmodel"
+	"repro/internal/pipeline"
+	"repro/internal/results"
+	"repro/internal/vfs"
+)
+
+func main() {
+	var (
+		scale      = flag.Int("scale", 16, "Graph500 scale factor S (N = 2^S)")
+		edgeFactor = flag.Int("edgefactor", 16, "average edges per vertex k")
+		seed       = flag.Uint64("seed", 1, "random seed")
+		nfiles     = flag.Int("nfiles", 1, "number of edge files (the paper's free parameter)")
+		variant    = flag.String("variant", "csr", "implementation variant, or 'all'")
+		generator  = flag.String("generator", "kronecker", "kernel-0 generator: kronecker, ppl, er")
+		workers    = flag.Int("workers", 0, "worker goroutines for parallel variants (0 = GOMAXPROCS)")
+		dir        = flag.String("dir", "", "storage directory (empty = in-memory)")
+		iterations = flag.Int("iterations", 20, "kernel-3 PageRank iterations")
+		damping    = flag.Float64("damping", 0.85, "kernel-3 damping factor c")
+		dangling   = flag.Bool("dangling", false, "apply the dangling-node correction in kernel 3")
+		sortEnds   = flag.Bool("sortends", false, "kernel 1 sorts by (u,v) instead of u")
+		kernels    = flag.String("kernels", "0123", "kernels to run, e.g. 01 or 23")
+		sweep      = flag.Bool("sweep", false, "sweep scales and emit the paper's figures 4-7")
+		minScale   = flag.Int("minscale", 16, "sweep: smallest scale")
+		maxScale   = flag.Int("maxscale", 18, "sweep: largest scale")
+		procs      = flag.Int("procs", 0, "simulate a distributed run on this many processors")
+		predict    = flag.Bool("predict", false, "print hardware-model predictions and exit")
+		format     = flag.String("format", "table", "output format: table, csv, markdown")
+		ascii      = flag.Bool("ascii", true, "sweep: also draw ASCII log-log plots")
+	)
+	flag.Parse()
+
+	if *predict {
+		printPredictions(*scale, *format)
+		return
+	}
+	if *procs > 0 {
+		if err := runDistributed(*scale, *edgeFactor, *seed, *procs, *iterations, *damping, *dangling); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *sweep {
+		if err := runSweep(*minScale, *maxScale, *edgeFactor, *seed, *variant, *format, *ascii); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	cfg := core.Config{
+		Scale:           *scale,
+		EdgeFactor:      *edgeFactor,
+		Seed:            *seed,
+		NFiles:          *nfiles,
+		Variant:         *variant,
+		Generator:       pipeline.GeneratorKind(*generator),
+		Workers:         *workers,
+		SortEndVertices: *sortEnds,
+		PageRank: pagerank.Options{
+			Iterations: *iterations,
+			Damping:    *damping,
+			Dangling:   *dangling,
+		},
+	}
+	if *dir != "" {
+		fsys, err := vfs.NewDir(*dir)
+		if err != nil {
+			fatal(err)
+		}
+		cfg.FS = fsys
+	}
+	ks, err := parseKernels(*kernels)
+	if err != nil {
+		fatal(err)
+	}
+	res, err := core.RunKernels(cfg, ks)
+	if err != nil {
+		fatal(err)
+	}
+	printResult(res, *format)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "prbench:", err)
+	os.Exit(1)
+}
+
+func parseKernels(s string) ([]core.Kernel, error) {
+	var ks []core.Kernel
+	for _, c := range s {
+		switch c {
+		case '0':
+			ks = append(ks, core.K0Generate)
+		case '1':
+			ks = append(ks, core.K1Sort)
+		case '2':
+			ks = append(ks, core.K2Filter)
+		case '3':
+			ks = append(ks, core.K3PageRank)
+		default:
+			return nil, fmt.Errorf("bad kernel %q in -kernels", string(c))
+		}
+	}
+	if len(ks) == 0 {
+		return nil, fmt.Errorf("-kernels selected nothing")
+	}
+	return ks, nil
+}
+
+func emit(t *results.Table, format string) {
+	switch format {
+	case "csv":
+		fmt.Print(t.CSV())
+	case "markdown":
+		fmt.Print(t.Markdown())
+	default:
+		fmt.Print(t.Plain())
+	}
+}
+
+func printResult(res *core.Result, format string) {
+	t := results.NewTable(
+		fmt.Sprintf("PageRank pipeline: scale %d, variant %s, N=%s, M=%s",
+			res.Config.Scale, res.Config.Variant,
+			pipeline.HumanCount(res.Config.N()), pipeline.HumanCount(res.Config.M())),
+		"kernel", "seconds", "edges", "edges/second")
+	for _, k := range res.Kernels {
+		t.AddRow(k.Kernel.String(),
+			fmt.Sprintf("%.4f", k.Seconds),
+			fmt.Sprintf("%d", k.Edges),
+			fmt.Sprintf("%.4g", k.EdgesPerSecond))
+	}
+	emit(t, format)
+	if res.NNZ > 0 {
+		fmt.Printf("matrix: %d nonzeros after filtering, mass before filtering %.0f (M=%d)\n",
+			res.NNZ, res.MatrixMass, res.Config.M())
+	}
+}
+
+func runSweep(minScale, maxScale, edgeFactor int, seed uint64, variant, format string, ascii bool) error {
+	if minScale > maxScale {
+		return fmt.Errorf("minscale %d > maxscale %d", minScale, maxScale)
+	}
+	variants := core.Variants()
+	if variant != "all" && variant != "" {
+		variants = strings.Split(variant, ",")
+	}
+	figures := [4]*results.Figure{}
+	titles := [4]string{
+		"Figure 4. Kernel 0 (generate) measurements",
+		"Figure 5. Kernel 1 (sort) measurements",
+		"Figure 6. Kernel 2 (filter) measurements",
+		"Figure 7. Kernel 3 (PageRank) measurements",
+	}
+	for i := range figures {
+		figures[i] = &results.Figure{Title: titles[i], XLabel: "number of edges", YLabel: "edges per second"}
+	}
+	for _, v := range variants {
+		series := [4]results.Series{}
+		for k := range series {
+			series[k].Label = v
+		}
+		for s := minScale; s <= maxScale; s++ {
+			cfg := core.Config{Scale: s, EdgeFactor: edgeFactor, Seed: seed, Variant: v}
+			res, err := core.Run(cfg)
+			if err != nil {
+				return fmt.Errorf("scale %d variant %s: %w", s, v, err)
+			}
+			m := float64(cfg.M())
+			for k, kr := range res.Kernels {
+				series[k].X = append(series[k].X, m)
+				series[k].Y = append(series[k].Y, kr.EdgesPerSecond)
+			}
+			fmt.Fprintf(os.Stderr, "done scale=%d variant=%s\n", s, v)
+		}
+		for k := range figures {
+			figures[k].Add(series[k])
+		}
+	}
+	for _, f := range figures {
+		fmt.Println(f.Title)
+		fmt.Print(f.CSV())
+		if ascii {
+			fmt.Print(f.ASCII(64, 16))
+		}
+		fmt.Println()
+	}
+	return nil
+}
+
+func runDistributed(scale, edgeFactor int, seed uint64, procs, iterations int, damping float64, dangling bool) error {
+	kcfg := kronecker.New(scale, seed)
+	kcfg.EdgeFactor = edgeFactor
+	l, err := kronecker.Generate(kcfg)
+	if err != nil {
+		return err
+	}
+	opt := pagerank.Options{Iterations: iterations, Damping: damping, Dangling: dangling, Seed: seed}
+	res, err := dist.Run(l, int(kcfg.N()), procs, opt)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("distributed pipeline: scale %d, %d processors\n", scale, procs)
+	fmt.Printf("  filtered nonzeros:  %d\n", res.NNZ)
+	fmt.Printf("  all-reduce calls:   %d (%.3g MB)\n", res.Comm.AllReduceCalls, float64(res.Comm.AllReduceBytes)/1e6)
+	fmt.Printf("  broadcast calls:    %d (%.3g MB)\n", res.Comm.BroadcastCalls, float64(res.Comm.BroadcastBytes)/1e6)
+	predicted := dist.PredictedCommBytes(int(kcfg.N()), procs, iterations, dangling)
+	fmt.Printf("  predicted comm:     %.3g MB\n", float64(predicted)/1e6)
+	return nil
+}
+
+func printPredictions(scale int, format string) {
+	h := perfmodel.PaperNode()
+	w := perfmodel.Workload{Scale: scale}
+	preds := perfmodel.All(h, w)
+	t := results.NewTable(
+		fmt.Sprintf("Hardware-model predictions (%s, scale %d)", h.Name, scale),
+		"kernel", "predicted seconds", "predicted edges/s", "bound")
+	for i, p := range preds {
+		t.AddRow(fmt.Sprintf("kernel%d", i),
+			fmt.Sprintf("%.3f", p.Seconds),
+			fmt.Sprintf("%.3g", p.EdgesPerSecond),
+			p.Bound)
+	}
+	emit(t, format)
+	pt := results.NewTable("Parallel kernel-3 model", "processors", "speedup", "bound")
+	for _, p := range []int{1, 2, 4, 8, 16, 32, 64, 128} {
+		pred := perfmodel.ParallelKernel3(h, w, p)
+		pt.AddRow(fmt.Sprintf("%d", p),
+			fmt.Sprintf("%.2f", perfmodel.Speedup(h, w, p)),
+			pred.Bound)
+	}
+	emit(pt, format)
+}

@@ -1,0 +1,30 @@
+package main
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestParseKernels(t *testing.T) {
+	ks, err := parseKernels("0123")
+	if err != nil || len(ks) != 4 {
+		t.Fatalf("parseKernels(0123) = %v, %v", ks, err)
+	}
+	if ks[0] != core.K0Generate || ks[3] != core.K3PageRank {
+		t.Errorf("kernel order: %v", ks)
+	}
+	ks, err = parseKernels("23")
+	if err != nil || len(ks) != 2 || ks[0] != core.K2Filter {
+		t.Errorf("parseKernels(23) = %v, %v", ks, err)
+	}
+	if _, err := parseKernels("4"); err == nil {
+		t.Error("kernel 4 accepted")
+	}
+	if _, err := parseKernels(""); err == nil {
+		t.Error("empty kernels accepted")
+	}
+	if _, err := parseKernels("0x"); err == nil {
+		t.Error("garbage accepted")
+	}
+}

@@ -1,0 +1,148 @@
+// Command prreport regenerates the paper's whole evaluation section in one
+// run: Table II, a figure sweep across all implementation variants, the
+// correctness-validation suite, the hardware-model predictions and the
+// distributed-simulation communication check, emitted as a single markdown
+// report.
+//
+//	prreport -minscale 12 -maxscale 14 > report.md
+//
+// Larger scales reproduce the paper's axes but take correspondingly longer
+// (the naive variant's kernel 2 is the long pole, exactly as in the paper).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/kronecker"
+	"repro/internal/pagerank"
+	"repro/internal/perfmodel"
+	"repro/internal/pipeline"
+	"repro/internal/results"
+)
+
+func main() {
+	var (
+		minScale = flag.Int("minscale", 12, "sweep: smallest scale")
+		maxScale = flag.Int("maxscale", 14, "sweep: largest scale")
+		seed     = flag.Uint64("seed", 1, "random seed")
+		procs    = flag.Int("procs", 4, "distributed simulation processor count")
+	)
+	flag.Parse()
+
+	fmt.Println("# PageRank Pipeline Benchmark — evaluation report")
+	fmt.Println()
+
+	tableII()
+	figures(*minScale, *maxScale, *seed)
+	validation(*seed)
+	predictions()
+	distributed(*seed, *procs)
+}
+
+func tableII() {
+	fmt.Println("## Table II — benchmark run sizes")
+	fmt.Println()
+	t := results.NewTable("", "Scale", "Max Vertices", "Max Edges", "~Memory")
+	for _, r := range pipeline.SizeTable(pipeline.PaperScales, 0, 0) {
+		t.AddRow(fmt.Sprintf("%d", r.Scale), pipeline.HumanCount(r.MaxVertices),
+			pipeline.HumanCount(r.MaxEdges), pipeline.HumanBytes(r.MemoryBytes))
+	}
+	fmt.Println(t.Markdown())
+}
+
+func figures(minScale, maxScale int, seed uint64) {
+	titles := [4]string{
+		"Figure 4 — kernel 0 (generate)",
+		"Figure 5 — kernel 1 (sort)",
+		"Figure 6 — kernel 2 (filter)",
+		"Figure 7 — kernel 3 (PageRank)",
+	}
+	figs := [4]*results.Figure{}
+	for k := range figs {
+		figs[k] = &results.Figure{Title: titles[k], XLabel: "number of edges", YLabel: "edges per second"}
+	}
+	for _, v := range core.Variants() {
+		series := [4]results.Series{}
+		for k := range series {
+			series[k].Label = v
+		}
+		for s := minScale; s <= maxScale; s++ {
+			cfg := core.Config{Scale: s, Seed: seed, Variant: v}
+			res, err := core.Run(cfg)
+			if err != nil {
+				fatal(err)
+			}
+			for k, kr := range res.Kernels {
+				series[k].X = append(series[k].X, float64(cfg.M()))
+				series[k].Y = append(series[k].Y, kr.EdgesPerSecond)
+			}
+		}
+		for k := range figs {
+			figs[k].Add(series[k])
+		}
+	}
+	for _, f := range figs {
+		fmt.Printf("## %s\n\n```\n%s```\n\n", f.Title, f.ASCII(64, 16))
+		fmt.Printf("```csv\n%s```\n\n", f.CSV())
+	}
+}
+
+func validation(seed uint64) {
+	fmt.Println("## Correctness validation (V1–V6)")
+	fmt.Println()
+	t := results.NewTable("", "Variant", "Result", "Checks")
+	for _, v := range core.Variants() {
+		rep, err := pipeline.Validate(core.Config{Scale: 8, Seed: seed, Variant: v})
+		if err != nil {
+			fatal(err)
+		}
+		status := "PASS"
+		if !rep.Passed {
+			status = "FAIL"
+		}
+		t.AddRow(v, status, fmt.Sprintf("%d", len(rep.Checks)))
+	}
+	fmt.Println(t.Markdown())
+}
+
+func predictions() {
+	fmt.Println("## Hardware-model predictions (paper platform, scale 22)")
+	fmt.Println()
+	h := perfmodel.PaperNode()
+	w := perfmodel.Workload{Scale: 22}
+	t := results.NewTable("", "Kernel", "Predicted edges/s", "Bound")
+	for i, p := range perfmodel.All(h, w) {
+		t.AddRow(fmt.Sprintf("kernel %d", i), fmt.Sprintf("%.3g", p.EdgesPerSecond), p.Bound)
+	}
+	fmt.Println(t.Markdown())
+}
+
+func distributed(seed uint64, procs int) {
+	fmt.Println("## Distributed simulation")
+	fmt.Println()
+	kcfg := kronecker.New(12, seed)
+	l, err := kronecker.Generate(kcfg)
+	if err != nil {
+		fatal(err)
+	}
+	res, err := dist.Run(l, int(kcfg.N()), procs, pagerank.Options{Seed: seed})
+	if err != nil {
+		fatal(err)
+	}
+	predicted := dist.PredictedCommBytes(int(kcfg.N()), procs, pagerank.DefaultIterations, false)
+	fmt.Printf("- processors: %d\n", procs)
+	fmt.Printf("- all-reduce calls: %d, broadcast calls: %d\n", res.Comm.AllReduceCalls, res.Comm.BroadcastCalls)
+	fmt.Printf("- measured communication: %d bytes\n", res.Comm.AllReduceBytes+res.Comm.BroadcastBytes)
+	fmt.Printf("- closed-form prediction: %d bytes (must match exactly)\n", predicted)
+	match := res.Comm.AllReduceBytes+res.Comm.BroadcastBytes == predicted
+	fmt.Printf("- match: %v\n\n", match)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "prreport:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,47 @@
+// Command sizes prints the paper's Table II ("Benchmark run sizes"):
+// maximum vertices, maximum edges and approximate memory footprint for a
+// range of scale factors.
+//
+//	sizes -min 16 -max 22
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"repro/internal/pipeline"
+	"repro/internal/results"
+)
+
+func main() {
+	var (
+		min        = flag.Int("min", 16, "smallest scale")
+		max        = flag.Int("max", 22, "largest scale")
+		edgeFactor = flag.Int("edgefactor", 16, "edges per vertex")
+		bytes      = flag.Int("bytes", 0, "bytes per edge (0 = the value reproducing the published table)")
+		format     = flag.String("format", "table", "output format: table, csv, markdown")
+	)
+	flag.Parse()
+	var scales []int
+	for s := *min; s <= *max; s++ {
+		scales = append(scales, s)
+	}
+	rows := pipeline.SizeTable(scales, *edgeFactor, *bytes)
+	t := results.NewTable("Table II. Benchmark run sizes", "Scale", "Max Vertices", "Max Edges", "~Memory")
+	for _, r := range rows {
+		t.AddRow(
+			fmt.Sprintf("%d", r.Scale),
+			pipeline.HumanCount(r.MaxVertices),
+			pipeline.HumanCount(r.MaxEdges),
+			pipeline.HumanBytes(r.MemoryBytes),
+		)
+	}
+	switch *format {
+	case "csv":
+		fmt.Print(t.CSV())
+	case "markdown":
+		fmt.Print(t.Markdown())
+	default:
+		fmt.Print(t.Plain())
+	}
+}

@@ -1,0 +1,98 @@
+// Package core is the top-level public API of the PageRank pipeline
+// benchmark: a thin facade over the pipeline, pagerank, dist and perfmodel
+// packages that exposes everything a benchmark user needs from one import.
+//
+// Quick start:
+//
+//	cfg := core.Config{Scale: 16, Seed: 1}
+//	res, err := core.Run(cfg)
+//	if err != nil { ... }
+//	for _, k := range res.Kernels {
+//		fmt.Printf("%v: %.3g edges/s\n", k.Kernel, k.EdgesPerSecond)
+//	}
+//
+// The benchmark follows the IPDPS 2016 proposal "PageRank Pipeline
+// Benchmark" (Dreher, Byun, Hill, Gadepally, Kuszmaul, Kepner): kernel 0
+// generates a Graph500 Kronecker graph and writes it to tab-separated
+// files; kernel 1 sorts the edges by start vertex; kernel 2 builds,
+// filters and normalizes the sparse adjacency matrix; kernel 3 runs 20
+// iterations of PageRank.  Kernels 1–3 report edges per second (20·M for
+// kernel 3).
+package core
+
+import (
+	"repro/internal/dist"
+	"repro/internal/edge"
+	"repro/internal/pagerank"
+	"repro/internal/perfmodel"
+	"repro/internal/pipeline"
+	"repro/internal/vfs"
+)
+
+// Config parameterizes a benchmark run.  See pipeline.Config.
+type Config = pipeline.Config
+
+// Result is the outcome of a benchmark run.  See pipeline.Result.
+type Result = pipeline.Result
+
+// KernelResult is one kernel's timing record.
+type KernelResult = pipeline.KernelResult
+
+// Kernel identifies a pipeline stage (K0Generate … K3PageRank).
+type Kernel = pipeline.Kernel
+
+// The four kernels.
+const (
+	K0Generate = pipeline.K0Generate
+	K1Sort     = pipeline.K1Sort
+	K2Filter   = pipeline.K2Filter
+	K3PageRank = pipeline.K3PageRank
+)
+
+// Generator kinds for Config.Generator.
+const (
+	GenKronecker = pipeline.GenKronecker
+	GenPPL       = pipeline.GenPPL
+	GenER        = pipeline.GenER
+)
+
+// PageRankOptions configures kernel 3.  See pagerank.Options.
+type PageRankOptions = pagerank.Options
+
+// Run executes the full four-kernel pipeline.
+func Run(cfg Config) (*Result, error) { return pipeline.Execute(cfg) }
+
+// RunKernels executes a subset of kernels in order; earlier kernels'
+// artifacts must already exist in cfg.FS.
+func RunKernels(cfg Config, kernels []Kernel) (*Result, error) {
+	return pipeline.ExecuteKernels(cfg, kernels)
+}
+
+// Variants lists the registered implementation variants.
+func Variants() []string { return pipeline.VariantNames() }
+
+// NewMemFS returns an in-memory storage backend for Config.FS.
+func NewMemFS() *vfs.Mem { return vfs.NewMem() }
+
+// NewDirFS returns a directory-rooted storage backend for Config.FS.
+func NewDirFS(root string) (*vfs.Dir, error) { return vfs.NewDir(root) }
+
+// SizeTable computes the paper's Table II rows.
+func SizeTable(scales []int, edgeFactor, bytesPerEdge int) []pipeline.SizeRow {
+	return pipeline.SizeTable(scales, edgeFactor, bytesPerEdge)
+}
+
+// PaperScales are the scales of the paper's evaluation (16–22).
+var PaperScales = pipeline.PaperScales
+
+// DistributedRun executes the simulated distributed kernel-2/kernel-3
+// pipeline over p processors.  See dist.Run.
+func DistributedRun(l *edge.List, n, p int, opt PageRankOptions) (*dist.Result, error) {
+	return dist.Run(l, n, p, opt)
+}
+
+// PredictKernels returns the hardware-model predictions for all four
+// kernels on the paper's test platform.
+func PredictKernels(scale int) [4]perfmodel.Prediction {
+	return perfmodel.All(perfmodel.PaperNode(), perfmodel.Workload{Scale: scale})
+}

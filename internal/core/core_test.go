@@ -1,0 +1,81 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/kronecker"
+	"repro/internal/pagerank"
+)
+
+func TestRunFacade(t *testing.T) {
+	res, err := Run(Config{Scale: 7, EdgeFactor: 8, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Kernels) != 4 {
+		t.Fatalf("kernels = %d", len(res.Kernels))
+	}
+	if res.KernelResultFor(K3PageRank) == nil {
+		t.Error("no K3 record")
+	}
+}
+
+func TestRunKernelsFacade(t *testing.T) {
+	fs := NewMemFS()
+	cfg := Config{Scale: 6, Seed: 2, FS: fs}
+	if _, err := RunKernels(cfg, []Kernel{K0Generate, K1Sort}); err != nil {
+		t.Fatal(err)
+	}
+	names, _ := fs.List()
+	if len(names) != 2 { // one k0 stripe, one k1 stripe
+		t.Errorf("files after K0+K1: %v", names)
+	}
+}
+
+func TestVariantsNonEmpty(t *testing.T) {
+	vs := Variants()
+	if len(vs) < 6 {
+		t.Errorf("variants = %v", vs)
+	}
+}
+
+func TestSizeTableFacade(t *testing.T) {
+	rows := SizeTable(PaperScales, 0, 0)
+	if len(rows) != 7 || rows[0].Scale != 16 {
+		t.Errorf("size table = %+v", rows)
+	}
+}
+
+func TestDistributedRunFacade(t *testing.T) {
+	l, err := kronecker.Generate(kronecker.New(7, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := DistributedRun(l, 1<<7, 2, pagerank.Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rank) != 1<<7 || res.Comm.AllReduceCalls == 0 {
+		t.Error("distributed facade incomplete result")
+	}
+}
+
+func TestPredictKernelsFacade(t *testing.T) {
+	preds := PredictKernels(20)
+	for i, p := range preds {
+		if p.EdgesPerSecond <= 0 {
+			t.Errorf("kernel %d prediction %v", i, p)
+		}
+	}
+}
+
+func TestNewDirFSFacade(t *testing.T) {
+	d, err := NewDirFS(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Scale: 5, FS: d}
+	if _, err := Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+}

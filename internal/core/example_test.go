@@ -1,0 +1,51 @@
+package core_test
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// ExampleRun executes the full four-kernel benchmark at a tiny scale and
+// prints the structural invariants (timings vary run to run, so the
+// example prints only deterministic quantities).
+func ExampleRun() {
+	res, err := core.Run(core.Config{Scale: 6, EdgeFactor: 4, Seed: 1})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("kernels run:", len(res.Kernels))
+	fmt.Println("edges:", res.Kernels[0].Edges)
+	fmt.Println("matrix mass:", res.MatrixMass)
+	fmt.Println("pagerank iterations:", res.RankIterations)
+	// Output:
+	// kernels run: 4
+	// edges: 256
+	// matrix mass: 256
+	// pagerank iterations: 20
+}
+
+// ExampleSizeTable reproduces the first row of the paper's Table II.
+func ExampleSizeTable() {
+	rows := core.SizeTable([]int{16}, 0, 0)
+	r := rows[0]
+	fmt.Println(r.Scale, r.MaxVertices, r.MaxEdges, r.MemoryBytes)
+	// Output:
+	// 16 65536 1048576 25165824
+}
+
+// ExampleVariants lists the implementation variants standing in for the
+// paper's six language implementations.
+func ExampleVariants() {
+	for _, v := range core.Variants() {
+		fmt.Println(v)
+	}
+	// Output:
+	// columnar
+	// coo
+	// csr
+	// extsort
+	// graphblas
+	// parallel
+}

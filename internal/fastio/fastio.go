@@ -1,0 +1,611 @@
+// Package fastio implements the edge-file formats of the PageRank pipeline
+// benchmark and fast primitives for reading and writing them.
+//
+// The paper specifies that kernels 0 and 1 exchange edges through files of
+// tab-separated numeric strings, one "u\tv\n" record per edge, striped over
+// an implementer-chosen number of files on non-volatile storage.  This
+// package provides:
+//
+//   - allocation-free decimal integer formatting and parsing;
+//   - three interchangeable codecs: TSV (the paper's format, hand-optimized),
+//     NaiveTSV (the same format via strconv/bufio, standing in for the
+//     paper's interpreted-language implementations), and Binary (16-byte
+//     little-endian records, used by the text-vs-binary ablation);
+//   - striped writing and reading of edge lists across N files of a
+//     vfs.FS, plus a streaming reader for out-of-core kernels.
+package fastio
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+
+	"repro/internal/edge"
+	"repro/internal/vfs"
+)
+
+// DefaultBufSize is the buffer size used by codec readers and writers.
+// 256 KiB amortizes syscall and copy overhead at the record sizes involved
+// (≈ 15 bytes per edge at benchmark scales).
+const DefaultBufSize = 256 << 10
+
+// AppendUint appends the decimal representation of v to dst and returns the
+// extended slice.  It is equivalent to strconv.AppendUint(dst, v, 10) but
+// specialized and inlined for the hot path of kernel 0.
+func AppendUint(dst []byte, v uint64) []byte {
+	if v < 10 {
+		return append(dst, byte('0'+v))
+	}
+	var tmp [20]byte
+	i := len(tmp)
+	for v >= 10 {
+		q := v / 10
+		i--
+		tmp[i] = byte('0' + v - q*10)
+		v = q
+	}
+	i--
+	tmp[i] = byte('0' + v)
+	return append(dst, tmp[i:]...)
+}
+
+// ErrSyntax is returned by ParseUint for malformed input.
+var ErrSyntax = errors.New("fastio: invalid unsigned integer")
+
+// ErrRange is returned by ParseUint when the value overflows uint64.
+var ErrRange = errors.New("fastio: unsigned integer out of range")
+
+// ParseUint parses b as an unsigned decimal integer.  Unlike
+// strconv.ParseUint it operates on []byte without allocation.
+func ParseUint(b []byte) (uint64, error) {
+	if len(b) == 0 {
+		return 0, ErrSyntax
+	}
+	const cutoff = (1<<64-1)/10 + 1
+	var n uint64
+	for _, c := range b {
+		if c < '0' || c > '9' {
+			return 0, ErrSyntax
+		}
+		if n >= cutoff {
+			return 0, ErrRange
+		}
+		n = n * 10
+		d := uint64(c - '0')
+		if n+d < n {
+			return 0, ErrRange
+		}
+		n += d
+	}
+	return n, nil
+}
+
+// ---------------------------------------------------------------------------
+// Codec interfaces
+
+// EdgeSink consumes a stream of edges.  Implementations buffer internally;
+// callers must Flush before closing the underlying writer.
+type EdgeSink interface {
+	WriteEdge(u, v uint64) error
+	Flush() error
+}
+
+// EdgeSource produces a stream of edges, returning io.EOF after the last.
+type EdgeSource interface {
+	ReadEdge() (u, v uint64, err error)
+}
+
+// Codec bundles matching reader and writer constructors for one on-disk
+// edge encoding.
+type Codec interface {
+	// Name identifies the codec in file extensions and reports.
+	Name() string
+	// NewWriter returns a sink encoding edges onto w.
+	NewWriter(w io.Writer) EdgeSink
+	// NewReader returns a source decoding edges from r.
+	NewReader(r io.Reader) EdgeSource
+	// BytesPerEdge estimates the encoded size of one edge with vertex
+	// labels below maxVertex, used for file sizing and performance models.
+	BytesPerEdge(maxVertex uint64) float64
+}
+
+// ---------------------------------------------------------------------------
+// TSV codec (optimized)
+
+// TSV is the paper's tab-separated text format with hand-rolled formatting
+// and parsing.  This is the codec the optimized (csr) variant uses.
+type TSV struct{}
+
+// Name implements Codec.
+func (TSV) Name() string { return "tsv" }
+
+// BytesPerEdge implements Codec: two decimal numbers of roughly equal
+// average width, a tab and a newline.
+func (TSV) BytesPerEdge(maxVertex uint64) float64 {
+	return 2*avgDecimalWidth(maxVertex) + 2
+}
+
+// avgDecimalWidth approximates the mean decimal width of uniform labels in
+// [0, maxVertex).
+func avgDecimalWidth(maxVertex uint64) float64 {
+	if maxVertex == 0 {
+		return 1
+	}
+	d := len(strconv.FormatUint(maxVertex-1, 10))
+	// Most uniform values share the top width; this is close enough for
+	// sizing estimates.
+	return float64(d)
+}
+
+// NewWriter implements Codec.
+func (TSV) NewWriter(w io.Writer) EdgeSink { return NewTSVWriter(w, DefaultBufSize) }
+
+// NewReader implements Codec.
+func (TSV) NewReader(r io.Reader) EdgeSource { return NewTSVReader(r, DefaultBufSize) }
+
+// TSVWriter encodes edges as "u\tv\n" records with an internal buffer.
+type TSVWriter struct {
+	w   io.Writer
+	buf []byte
+	max int
+}
+
+// NewTSVWriter returns a TSVWriter with the given buffer size.
+func NewTSVWriter(w io.Writer, bufSize int) *TSVWriter {
+	if bufSize < 64 {
+		bufSize = 64
+	}
+	return &TSVWriter{w: w, buf: make([]byte, 0, bufSize), max: bufSize}
+}
+
+// WriteEdge implements EdgeSink.
+func (t *TSVWriter) WriteEdge(u, v uint64) error {
+	t.buf = AppendUint(t.buf, u)
+	t.buf = append(t.buf, '\t')
+	t.buf = AppendUint(t.buf, v)
+	t.buf = append(t.buf, '\n')
+	if len(t.buf) >= t.max-42 { // 42 = max record size (2×20 digits + 2)
+		return t.Flush()
+	}
+	return nil
+}
+
+// Flush implements EdgeSink.
+func (t *TSVWriter) Flush() error {
+	if len(t.buf) == 0 {
+		return nil
+	}
+	_, err := t.w.Write(t.buf)
+	t.buf = t.buf[:0]
+	return err
+}
+
+// TSVReader decodes "u\tv\n" records.  It tolerates \r\n line endings and
+// a missing final newline, and reports the line number in parse errors.
+type TSVReader struct {
+	r    *bufio.Reader
+	line int
+}
+
+// NewTSVReader returns a TSVReader with the given buffer size.
+func NewTSVReader(r io.Reader, bufSize int) *TSVReader {
+	return &TSVReader{r: bufio.NewReaderSize(r, bufSize)}
+}
+
+// ReadEdge implements EdgeSource.
+func (t *TSVReader) ReadEdge() (uint64, uint64, error) {
+	t.line++
+	u, err := t.readField('\t')
+	if err != nil {
+		if err == io.EOF {
+			return 0, 0, io.EOF
+		}
+		return 0, 0, fmt.Errorf("fastio: line %d: %w", t.line, err)
+	}
+	v, err := t.readField('\n')
+	if err != nil && err != io.EOF {
+		return 0, 0, fmt.Errorf("fastio: line %d: %w", t.line, err)
+	}
+	return u, v, nil
+}
+
+// readField parses one decimal field terminated by delim.  Returning io.EOF
+// with no digits consumed means clean end of stream; io.EOF after digits for
+// the final field of a file without trailing newline yields the value and
+// a nil error from ReadEdge's second call.
+func (t *TSVReader) readField(delim byte) (uint64, error) {
+	const cutoff = (1<<64-1)/10 + 1
+	var n uint64
+	digits := 0
+	for {
+		c, err := t.r.ReadByte()
+		if err == io.EOF {
+			if digits == 0 {
+				return 0, io.EOF
+			}
+			return n, io.EOF
+		}
+		if err != nil {
+			return 0, err
+		}
+		switch {
+		case c >= '0' && c <= '9':
+			if n >= cutoff {
+				return 0, ErrRange
+			}
+			n = n*10 + uint64(c-'0')
+			if n < uint64(c-'0') {
+				return 0, ErrRange
+			}
+			digits++
+		case c == delim:
+			if digits == 0 {
+				return 0, ErrSyntax
+			}
+			return n, nil
+		case c == '\r' && delim == '\n':
+			// Tolerate CRLF: the next byte must be the newline.
+			nc, err := t.r.ReadByte()
+			if err == nil && nc == '\n' && digits > 0 {
+				return n, nil
+			}
+			return 0, ErrSyntax
+		default:
+			return 0, ErrSyntax
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// NaiveTSV codec
+
+// NaiveTSV reads and writes the same text format as TSV but through the
+// generic standard-library route: fmt.Fprintf for writing and
+// bufio.Scanner plus strconv.ParseUint for reading.  It exists to model the
+// paper's interpreted-language implementations, whose string handling
+// dominates kernels 0–2, and doubles as a differential-testing oracle for
+// the optimized codec.
+type NaiveTSV struct{}
+
+// Name implements Codec.
+func (NaiveTSV) Name() string { return "naivetsv" }
+
+// BytesPerEdge implements Codec.
+func (NaiveTSV) BytesPerEdge(maxVertex uint64) float64 { return TSV{}.BytesPerEdge(maxVertex) }
+
+// NewWriter implements Codec.
+func (NaiveTSV) NewWriter(w io.Writer) EdgeSink {
+	return &naiveWriter{w: bufio.NewWriterSize(w, DefaultBufSize)}
+}
+
+// NewReader implements Codec.
+func (NaiveTSV) NewReader(r io.Reader) EdgeSource {
+	s := bufio.NewScanner(r)
+	s.Buffer(make([]byte, 64<<10), 1<<20)
+	return &naiveReader{s: s}
+}
+
+type naiveWriter struct {
+	w *bufio.Writer
+}
+
+func (n *naiveWriter) WriteEdge(u, v uint64) error {
+	_, err := fmt.Fprintf(n.w, "%d\t%d\n", u, v)
+	return err
+}
+
+func (n *naiveWriter) Flush() error { return n.w.Flush() }
+
+type naiveReader struct {
+	s    *bufio.Scanner
+	line int
+}
+
+func (n *naiveReader) ReadEdge() (uint64, uint64, error) {
+	if !n.s.Scan() {
+		if err := n.s.Err(); err != nil {
+			return 0, 0, err
+		}
+		return 0, 0, io.EOF
+	}
+	n.line++
+	text := n.s.Text()
+	tab := -1
+	for i := 0; i < len(text); i++ {
+		if text[i] == '\t' {
+			tab = i
+			break
+		}
+	}
+	if tab < 0 {
+		return 0, 0, fmt.Errorf("fastio: line %d: missing tab", n.line)
+	}
+	u, err := strconv.ParseUint(text[:tab], 10, 64)
+	if err != nil {
+		return 0, 0, fmt.Errorf("fastio: line %d: %w", n.line, err)
+	}
+	v, err := strconv.ParseUint(text[tab+1:], 10, 64)
+	if err != nil {
+		return 0, 0, fmt.Errorf("fastio: line %d: %w", n.line, err)
+	}
+	return u, v, nil
+}
+
+// ---------------------------------------------------------------------------
+// Binary codec
+
+// Binary encodes each edge as two little-endian uint64 words (16 bytes).
+// The paper's format is text; this codec exists for the text-vs-binary
+// ablation and for the external sorter's intermediate run files, where
+// fixed-width records allow exact spill accounting.
+type Binary struct{}
+
+// Name implements Codec.
+func (Binary) Name() string { return "bin" }
+
+// BytesPerEdge implements Codec.
+func (Binary) BytesPerEdge(uint64) float64 { return 16 }
+
+// NewWriter implements Codec.
+func (Binary) NewWriter(w io.Writer) EdgeSink {
+	return &binWriter{w: w, buf: make([]byte, 0, DefaultBufSize)}
+}
+
+// NewReader implements Codec.
+func (Binary) NewReader(r io.Reader) EdgeSource {
+	return &binReader{r: bufio.NewReaderSize(r, DefaultBufSize)}
+}
+
+type binWriter struct {
+	w   io.Writer
+	buf []byte
+}
+
+func (b *binWriter) WriteEdge(u, v uint64) error {
+	b.buf = binary.LittleEndian.AppendUint64(b.buf, u)
+	b.buf = binary.LittleEndian.AppendUint64(b.buf, v)
+	if len(b.buf) >= cap(b.buf)-16 {
+		return b.Flush()
+	}
+	return nil
+}
+
+func (b *binWriter) Flush() error {
+	if len(b.buf) == 0 {
+		return nil
+	}
+	_, err := b.w.Write(b.buf)
+	b.buf = b.buf[:0]
+	return err
+}
+
+type binReader struct {
+	r   *bufio.Reader
+	rec [16]byte
+}
+
+func (b *binReader) ReadEdge() (uint64, uint64, error) {
+	if _, err := io.ReadFull(b.r, b.rec[:]); err != nil {
+		if err == io.ErrUnexpectedEOF {
+			return 0, 0, fmt.Errorf("fastio: truncated binary edge record: %w", err)
+		}
+		return 0, 0, err
+	}
+	return binary.LittleEndian.Uint64(b.rec[0:8]), binary.LittleEndian.Uint64(b.rec[8:16]), nil
+}
+
+// Interface conformance checks.
+var (
+	_ Codec = TSV{}
+	_ Codec = NaiveTSV{}
+	_ Codec = Binary{}
+)
+
+// ---------------------------------------------------------------------------
+// Striped files
+
+// StripeName returns the name of stripe i of nfiles for the given prefix,
+// e.g. "k0/part-0003.tsv".  The zero-padded index keeps lexicographic and
+// numeric order identical so vfs.List order is stripe order.
+func StripeName(prefix string, codec Codec, i int) string {
+	return fmt.Sprintf("%s-%04d.%s", prefix, i, codec.Name())
+}
+
+// WriteStriped writes the edge list across nfiles files named
+// StripeName(prefix, codec, 0..nfiles-1), splitting edges into contiguous,
+// nearly equal chunks.  nfiles must be at least 1.
+func WriteStriped(fs vfs.FS, prefix string, codec Codec, nfiles int, l *edge.List) error {
+	if nfiles < 1 {
+		return fmt.Errorf("fastio: nfiles = %d, want >= 1", nfiles)
+	}
+	m := l.Len()
+	for i := 0; i < nfiles; i++ {
+		lo := i * m / nfiles
+		hi := (i + 1) * m / nfiles
+		if err := writeOneStripe(fs, StripeName(prefix, codec, i), codec, l, lo, hi); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeOneStripe(fs vfs.FS, name string, codec Codec, l *edge.List, lo, hi int) error {
+	w, err := fs.Create(name)
+	if err != nil {
+		return err
+	}
+	sink := codec.NewWriter(w)
+	for i := lo; i < hi; i++ {
+		if err := sink.WriteEdge(l.U[i], l.V[i]); err != nil {
+			w.Close()
+			return err
+		}
+	}
+	if err := sink.Flush(); err != nil {
+		w.Close()
+		return err
+	}
+	return w.Close()
+}
+
+// StripeNames returns the existing stripe file names for prefix, in stripe
+// order.  It probes consecutive indices until a stripe is missing.
+func StripeNames(fs vfs.FS, prefix string, codec Codec) ([]string, error) {
+	var names []string
+	for i := 0; ; i++ {
+		name := StripeName(prefix, codec, i)
+		if _, err := fs.Size(name); err != nil {
+			break
+		}
+		names = append(names, name)
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("fastio: no stripes found for prefix %q (codec %s)", prefix, codec.Name())
+	}
+	return names, nil
+}
+
+// ReadStriped reads all stripes for prefix into a single edge list, in
+// stripe order.
+func ReadStriped(fs vfs.FS, prefix string, codec Codec) (*edge.List, error) {
+	names, err := StripeNames(fs, prefix, codec)
+	if err != nil {
+		return nil, err
+	}
+	l := edge.NewList(0)
+	for _, name := range names {
+		if err := readOneStripe(fs, name, codec, l); err != nil {
+			return nil, err
+		}
+	}
+	return l, nil
+}
+
+func readOneStripe(fs vfs.FS, name string, codec Codec, l *edge.List) error {
+	r, err := fs.Open(name)
+	if err != nil {
+		return err
+	}
+	defer r.Close()
+	src := codec.NewReader(r)
+	for {
+		u, v, err := src.ReadEdge()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return fmt.Errorf("fastio: %s: %w", name, err)
+		}
+		l.Append(u, v)
+	}
+}
+
+// StripedSource is an EdgeSource that streams edges from a set of stripe
+// files in order, opening each file lazily.  It is the input path of the
+// out-of-core kernels, which must not materialize the whole edge list.
+type StripedSource struct {
+	fs    vfs.FS
+	codec Codec
+	names []string
+	next  int
+	cur   io.ReadCloser
+	src   EdgeSource
+}
+
+// NewStripedSource returns a StripedSource over the stripes of prefix.
+func NewStripedSource(fs vfs.FS, prefix string, codec Codec) (*StripedSource, error) {
+	names, err := StripeNames(fs, prefix, codec)
+	if err != nil {
+		return nil, err
+	}
+	return &StripedSource{fs: fs, codec: codec, names: names}, nil
+}
+
+// ReadEdge implements EdgeSource.
+func (s *StripedSource) ReadEdge() (uint64, uint64, error) {
+	for {
+		if s.src == nil {
+			if s.next >= len(s.names) {
+				return 0, 0, io.EOF
+			}
+			r, err := s.fs.Open(s.names[s.next])
+			if err != nil {
+				return 0, 0, err
+			}
+			s.cur = r
+			s.src = s.codec.NewReader(r)
+			s.next++
+		}
+		u, v, err := s.src.ReadEdge()
+		if err == io.EOF {
+			s.cur.Close()
+			s.cur, s.src = nil, nil
+			continue
+		}
+		return u, v, err
+	}
+}
+
+// Close releases the currently open stripe, if any.
+func (s *StripedSource) Close() error {
+	if s.cur != nil {
+		err := s.cur.Close()
+		s.cur, s.src = nil, nil
+		return err
+	}
+	return nil
+}
+
+// CountEdges streams src to completion and returns the number of edges.
+func CountEdges(src EdgeSource) (int, error) {
+	n := 0
+	for {
+		_, _, err := src.ReadEdge()
+		if err == io.EOF {
+			return n, nil
+		}
+		if err != nil {
+			return n, err
+		}
+		n++
+	}
+}
+
+// ListSource adapts an in-memory edge.List to the EdgeSource interface.
+type ListSource struct {
+	l *edge.List
+	i int
+}
+
+// NewListSource returns an EdgeSource reading from l.
+func NewListSource(l *edge.List) *ListSource { return &ListSource{l: l} }
+
+// ReadEdge implements EdgeSource.
+func (s *ListSource) ReadEdge() (uint64, uint64, error) {
+	if s.i >= s.l.Len() {
+		return 0, 0, io.EOF
+	}
+	u, v := s.l.At(s.i)
+	s.i++
+	return u, v, nil
+}
+
+// ListSink adapts an edge.List to the EdgeSink interface.
+type ListSink struct {
+	L *edge.List
+}
+
+// NewListSink returns an EdgeSink appending to l.
+func NewListSink(l *edge.List) *ListSink { return &ListSink{L: l} }
+
+// WriteEdge implements EdgeSink.
+func (s *ListSink) WriteEdge(u, v uint64) error {
+	s.L.Append(u, v)
+	return nil
+}
+
+// Flush implements EdgeSink.
+func (s *ListSink) Flush() error { return nil }

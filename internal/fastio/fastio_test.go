@@ -1,0 +1,380 @@
+package fastio
+
+import (
+	"bytes"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/edge"
+	"repro/internal/vfs"
+	"repro/internal/xrand"
+)
+
+func TestAppendUintMatchesStrconv(t *testing.T) {
+	cases := []uint64{0, 1, 9, 10, 99, 100, 12345, math.MaxUint64, math.MaxUint64 - 1}
+	for _, v := range cases {
+		got := string(AppendUint(nil, v))
+		want := strconv.FormatUint(v, 10)
+		if got != want {
+			t.Errorf("AppendUint(%d) = %q, want %q", v, got, want)
+		}
+	}
+}
+
+func TestAppendUintProperty(t *testing.T) {
+	err := quick.Check(func(v uint64) bool {
+		return string(AppendUint(nil, v)) == strconv.FormatUint(v, 10)
+	}, nil)
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAppendUintAppends(t *testing.T) {
+	got := string(AppendUint([]byte("x="), 42))
+	if got != "x=42" {
+		t.Errorf("AppendUint with prefix = %q", got)
+	}
+}
+
+func TestParseUintRoundTrip(t *testing.T) {
+	err := quick.Check(func(v uint64) bool {
+		n, err := ParseUint(AppendUint(nil, v))
+		return err == nil && n == v
+	}, nil)
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParseUintErrors(t *testing.T) {
+	for _, bad := range []string{"", "x", "1x", "-1", " 1", "18446744073709551616", "99999999999999999999"} {
+		if _, err := ParseUint([]byte(bad)); err == nil {
+			t.Errorf("ParseUint(%q) succeeded, want error", bad)
+		}
+	}
+	if n, err := ParseUint([]byte("18446744073709551615")); err != nil || n != math.MaxUint64 {
+		t.Errorf("ParseUint(max) = %d, %v", n, err)
+	}
+}
+
+// codecs under test.
+var allCodecs = []Codec{TSV{}, NaiveTSV{}, Binary{}}
+
+func randomList(seed uint64, n int) *edge.List {
+	g := xrand.New(seed)
+	l := edge.NewList(n)
+	for i := 0; i < n; i++ {
+		l.Append(g.Uint64n(1<<20), g.Uint64n(1<<20))
+	}
+	return l
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	l := randomList(1, 1000)
+	// Include boundary values.
+	l.Append(0, 0)
+	l.Append(math.MaxUint64, math.MaxUint64)
+	for _, c := range allCodecs {
+		t.Run(c.Name(), func(t *testing.T) {
+			var buf bytes.Buffer
+			w := c.NewWriter(&buf)
+			for i := 0; i < l.Len(); i++ {
+				if err := w.WriteEdge(l.U[i], l.V[i]); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := w.Flush(); err != nil {
+				t.Fatal(err)
+			}
+			r := c.NewReader(&buf)
+			got := edge.NewList(l.Len())
+			for {
+				u, v, err := r.ReadEdge()
+				if err == io.EOF {
+					break
+				}
+				if err != nil {
+					t.Fatal(err)
+				}
+				got.Append(u, v)
+			}
+			if !got.Equal(l) {
+				t.Errorf("round trip lost or reordered edges: %d vs %d", got.Len(), l.Len())
+			}
+		})
+	}
+}
+
+func TestTSVWireFormat(t *testing.T) {
+	var buf bytes.Buffer
+	w := TSV{}.NewWriter(&buf)
+	w.WriteEdge(3, 14)
+	w.WriteEdge(15, 92)
+	w.Flush()
+	want := "3\t14\n15\t92\n"
+	if buf.String() != want {
+		t.Errorf("TSV encoding = %q, want %q", buf.String(), want)
+	}
+}
+
+func TestNaiveAndFastTSVIdenticalOutput(t *testing.T) {
+	l := randomList(7, 500)
+	var fast, naive bytes.Buffer
+	fw, nw := TSV{}.NewWriter(&fast), NaiveTSV{}.NewWriter(&naive)
+	for i := 0; i < l.Len(); i++ {
+		fw.WriteEdge(l.U[i], l.V[i])
+		nw.WriteEdge(l.U[i], l.V[i])
+	}
+	fw.Flush()
+	nw.Flush()
+	if fast.String() != naive.String() {
+		t.Error("optimized and naive TSV writers disagree on the wire format")
+	}
+}
+
+func TestTSVReaderCrossParsesNaiveOutput(t *testing.T) {
+	// Differential test: each TSV reader must parse the other writer's bytes.
+	l := randomList(8, 300)
+	var buf bytes.Buffer
+	w := NaiveTSV{}.NewWriter(&buf)
+	for i := 0; i < l.Len(); i++ {
+		w.WriteEdge(l.U[i], l.V[i])
+	}
+	w.Flush()
+	r := TSV{}.NewReader(&buf)
+	for i := 0; i < l.Len(); i++ {
+		u, v, err := r.ReadEdge()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if u != l.U[i] || v != l.V[i] {
+			t.Fatalf("edge %d = (%d,%d), want (%d,%d)", i, u, v, l.U[i], l.V[i])
+		}
+	}
+}
+
+func TestTSVReaderTolerance(t *testing.T) {
+	cases := []struct {
+		name  string
+		input string
+		want  [][2]uint64
+	}{
+		{"no trailing newline", "1\t2\n3\t4", [][2]uint64{{1, 2}, {3, 4}}},
+		{"crlf", "1\t2\r\n3\t4\r\n", [][2]uint64{{1, 2}, {3, 4}}},
+		{"empty", "", nil},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			r := TSV{}.NewReader(strings.NewReader(c.input))
+			var got [][2]uint64
+			for {
+				u, v, err := r.ReadEdge()
+				if err == io.EOF {
+					break
+				}
+				if err != nil {
+					t.Fatal(err)
+				}
+				got = append(got, [2]uint64{u, v})
+			}
+			if len(got) != len(c.want) {
+				t.Fatalf("got %v, want %v", got, c.want)
+			}
+			for i := range got {
+				if got[i] != c.want[i] {
+					t.Fatalf("got %v, want %v", got, c.want)
+				}
+			}
+		})
+	}
+}
+
+func TestTSVReaderErrors(t *testing.T) {
+	for _, bad := range []string{"a\t2\n", "1 2\n", "1\t\n", "\t2\n", "1\t2x\n", "18446744073709551616\t0\n"} {
+		r := TSV{}.NewReader(strings.NewReader(bad))
+		if _, _, err := r.ReadEdge(); err == nil || err == io.EOF {
+			t.Errorf("ReadEdge(%q) err = %v, want parse error", bad, err)
+		}
+	}
+}
+
+func TestBinaryReaderTruncated(t *testing.T) {
+	r := Binary{}.NewReader(bytes.NewReader(make([]byte, 20))) // 1.25 records
+	if _, _, err := r.ReadEdge(); err != nil {
+		t.Fatalf("first record: %v", err)
+	}
+	if _, _, err := r.ReadEdge(); err == nil || err == io.EOF {
+		t.Errorf("truncated record err = %v, want explicit error", err)
+	}
+}
+
+func TestBytesPerEdge(t *testing.T) {
+	if got := (Binary{}).BytesPerEdge(1 << 20); got != 16 {
+		t.Errorf("Binary BytesPerEdge = %v", got)
+	}
+	got := (TSV{}).BytesPerEdge(1 << 20)
+	if got < 8 || got > 18 {
+		t.Errorf("TSV BytesPerEdge(2^20) = %v, want plausible text size", got)
+	}
+}
+
+func TestWriteReadStriped(t *testing.T) {
+	l := randomList(3, 1017) // deliberately not divisible by stripe counts
+	for _, nfiles := range []int{1, 2, 3, 8, 16} {
+		for _, c := range allCodecs {
+			fs := vfs.NewMem()
+			if err := WriteStriped(fs, "k0/edges", c, nfiles, l); err != nil {
+				t.Fatalf("WriteStriped(nfiles=%d,%s): %v", nfiles, c.Name(), err)
+			}
+			names, err := fs.List()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(names) != nfiles {
+				t.Fatalf("wrote %d files, want %d", len(names), nfiles)
+			}
+			got, err := ReadStriped(fs, "k0/edges", c)
+			if err != nil {
+				t.Fatalf("ReadStriped: %v", err)
+			}
+			if !got.Equal(l) {
+				t.Fatalf("striped round trip (nfiles=%d, %s) corrupted edges", nfiles, c.Name())
+			}
+		}
+	}
+}
+
+func TestWriteStripedRejectsZeroFiles(t *testing.T) {
+	if err := WriteStriped(vfs.NewMem(), "x", TSV{}, 0, edge.NewList(0)); err == nil {
+		t.Error("nfiles=0 accepted")
+	}
+}
+
+func TestReadStripedMissing(t *testing.T) {
+	if _, err := ReadStriped(vfs.NewMem(), "absent", TSV{}); err == nil {
+		t.Error("reading absent prefix should fail")
+	}
+}
+
+func TestStripedSourceStreams(t *testing.T) {
+	l := randomList(4, 505)
+	fs := vfs.NewMem()
+	if err := WriteStriped(fs, "e", TSV{}, 7, l); err != nil {
+		t.Fatal(err)
+	}
+	src, err := NewStripedSource(fs, "e", TSV{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+	got := edge.NewList(l.Len())
+	for {
+		u, v, err := src.ReadEdge()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		got.Append(u, v)
+	}
+	if !got.Equal(l) {
+		t.Error("StripedSource does not preserve order across stripes")
+	}
+}
+
+func TestCountEdges(t *testing.T) {
+	l := randomList(5, 321)
+	n, err := CountEdges(NewListSource(l))
+	if err != nil || n != 321 {
+		t.Errorf("CountEdges = %d, %v", n, err)
+	}
+}
+
+func TestListSinkSource(t *testing.T) {
+	l := edge.NewList(0)
+	sink := NewListSink(l)
+	sink.WriteEdge(1, 2)
+	sink.WriteEdge(3, 4)
+	if err := sink.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	src := NewListSource(l)
+	u, v, err := src.ReadEdge()
+	if err != nil || u != 1 || v != 2 {
+		t.Errorf("first edge = (%d,%d), %v", u, v, err)
+	}
+	src.ReadEdge()
+	if _, _, err := src.ReadEdge(); err != io.EOF {
+		t.Errorf("expected EOF, got %v", err)
+	}
+}
+
+func TestStripeNameOrdering(t *testing.T) {
+	// Zero padding must make lexicographic order equal stripe order.
+	a := StripeName("p", TSV{}, 2)
+	b := StripeName("p", TSV{}, 10)
+	if !(a < b) {
+		t.Errorf("stripe names out of order: %q >= %q", a, b)
+	}
+}
+
+func BenchmarkTSVWrite(b *testing.B) {
+	l := randomList(1, 10000)
+	b.SetBytes(int64(l.Len()))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		w := TSV{}.NewWriter(io.Discard)
+		for j := 0; j < l.Len(); j++ {
+			w.WriteEdge(l.U[j], l.V[j])
+		}
+		w.Flush()
+	}
+}
+
+func BenchmarkTSVRead(b *testing.B) {
+	l := randomList(1, 10000)
+	var buf bytes.Buffer
+	w := TSV{}.NewWriter(&buf)
+	for j := 0; j < l.Len(); j++ {
+		w.WriteEdge(l.U[j], l.V[j])
+	}
+	w.Flush()
+	data := buf.Bytes()
+	b.SetBytes(int64(l.Len()))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r := TSV{}.NewReader(bytes.NewReader(data))
+		for {
+			if _, _, err := r.ReadEdge(); err == io.EOF {
+				break
+			}
+		}
+	}
+}
+
+func BenchmarkNaiveTSVRead(b *testing.B) {
+	l := randomList(1, 10000)
+	var buf bytes.Buffer
+	w := NaiveTSV{}.NewWriter(&buf)
+	for j := 0; j < l.Len(); j++ {
+		w.WriteEdge(l.U[j], l.V[j])
+	}
+	w.Flush()
+	data := buf.Bytes()
+	b.SetBytes(int64(l.Len()))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r := NaiveTSV{}.NewReader(bytes.NewReader(data))
+		for {
+			if _, _, err := r.ReadEdge(); err == io.EOF {
+				break
+			}
+		}
+	}
+}

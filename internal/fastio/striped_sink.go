@@ -1,0 +1,104 @@
+package fastio
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/vfs"
+)
+
+// StripedSink is an EdgeSink that distributes an edge stream across a fixed
+// number of stripe files without knowing the total edge count in advance —
+// the out-of-core counterpart of WriteStriped.  Edges are written to stripe
+// i until edgesPerStripe records accumulate, then the sink rolls to stripe
+// i+1; the final stripe absorbs any overflow.  Close flushes and closes the
+// current stripe.
+type StripedSink struct {
+	fs             vfs.FS
+	prefix         string
+	codec          Codec
+	nfiles         int
+	edgesPerStripe int64
+
+	stripe  int
+	written int64
+	cur     io.WriteCloser
+	sink    EdgeSink
+}
+
+// NewStripedSink returns a StripedSink writing nfiles stripes under prefix.
+// expectedEdges sizes the per-stripe quota; if the stream turns out longer,
+// the last stripe grows (stripe count never exceeds nfiles).
+func NewStripedSink(fs vfs.FS, prefix string, codec Codec, nfiles int, expectedEdges int64) (*StripedSink, error) {
+	if nfiles < 1 {
+		return nil, fmt.Errorf("fastio: nfiles = %d, want >= 1", nfiles)
+	}
+	per := expectedEdges / int64(nfiles)
+	if per < 1 {
+		per = 1
+	}
+	return &StripedSink{fs: fs, prefix: prefix, codec: codec, nfiles: nfiles, edgesPerStripe: per}, nil
+}
+
+// WriteEdge implements EdgeSink.
+func (s *StripedSink) WriteEdge(u, v uint64) error {
+	if s.sink == nil {
+		if err := s.openNext(); err != nil {
+			return err
+		}
+	}
+	if err := s.sink.WriteEdge(u, v); err != nil {
+		return err
+	}
+	s.written++
+	if s.written >= s.edgesPerStripe && s.stripe < s.nfiles {
+		return s.closeCurrent()
+	}
+	return nil
+}
+
+func (s *StripedSink) openNext() error {
+	w, err := s.fs.Create(StripeName(s.prefix, s.codec, s.stripe))
+	if err != nil {
+		return err
+	}
+	s.cur = w
+	s.sink = s.codec.NewWriter(w)
+	s.stripe++
+	s.written = 0
+	return nil
+}
+
+func (s *StripedSink) closeCurrent() error {
+	if s.sink == nil {
+		return nil
+	}
+	if err := s.sink.Flush(); err != nil {
+		s.cur.Close()
+		return err
+	}
+	err := s.cur.Close()
+	s.cur, s.sink = nil, nil
+	return err
+}
+
+// Flush implements EdgeSink; it flushes the current stripe's buffer but
+// keeps the stripe open for further edges.
+func (s *StripedSink) Flush() error {
+	if s.sink == nil {
+		return nil
+	}
+	return s.sink.Flush()
+}
+
+// Close finishes the sink, closing any open stripe.  A sink that received
+// no edges at all still produces one empty stripe so readers find the
+// prefix.
+func (s *StripedSink) Close() error {
+	if s.sink == nil && s.stripe == 0 {
+		if err := s.openNext(); err != nil {
+			return err
+		}
+	}
+	return s.closeCurrent()
+}

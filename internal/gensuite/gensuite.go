@@ -1,0 +1,202 @@
+// Package gensuite provides the alternative graph generators the paper
+// proposes investigating alongside the Graph500 Kronecker generator:
+// a perfect-power-law (PPL) generator whose degree sequence is exactly
+// deterministic ("Should a more deterministic generator be used in kernel 0
+// to facilitate validation of all kernels?"), and an Erdős–Rényi generator
+// as a non-skewed control.
+//
+// All generators satisfy the Generator interface consumed by the pipeline,
+// so kernel 0 can be swapped without touching kernels 1–3 — the paper's
+// requirement that "the subsequent kernels should be able to work with
+// input from any graph generator".
+package gensuite
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/edge"
+	"repro/internal/xrand"
+)
+
+// Generator produces an edge list over a fixed vertex set.
+type Generator interface {
+	// Name identifies the generator in reports.
+	Name() string
+	// NumVertices returns the size of the vertex set N.
+	NumVertices() uint64
+	// NumEdges returns the number of edges the generator will emit.
+	NumEdges() uint64
+	// Generate produces the edge list.
+	Generate() (*edge.List, error)
+}
+
+// ---------------------------------------------------------------------------
+// Perfect power law
+
+// PPL is a deterministic perfect-power-law generator.  Vertex i receives an
+// out-degree proportional to (i+1)^(-1/alpha) — an exact Zipf-like degree
+// sequence — and each of its edges gets a target computed by hashing the
+// (source, edge index) pair, so two runs produce bit-identical output with
+// no random state at all.  Setting Seed changes the hash stream while
+// keeping the degree sequence fixed.
+type PPL struct {
+	// Scale sets N = 2^Scale vertices.
+	Scale int
+	// EdgeFactor is the average edges per vertex (k).
+	EdgeFactor int
+	// Alpha is the power-law exponent parameter; out-degree of rank-i
+	// vertex is proportional to (i+1)^(-1/alpha).  Typical social-network
+	// exponents correspond to Alpha in [0.5, 1.5].  Zero selects 1.0.
+	Alpha float64
+	// Seed perturbs target selection only.
+	Seed uint64
+}
+
+// Name implements Generator.
+func (p PPL) Name() string { return "ppl" }
+
+// NumVertices implements Generator.
+func (p PPL) NumVertices() uint64 { return 1 << uint(p.Scale) }
+
+// NumEdges implements Generator.
+func (p PPL) NumEdges() uint64 {
+	ds := p.degreeSequence()
+	var m uint64
+	for _, d := range ds {
+		m += d
+	}
+	return m
+}
+
+func (p PPL) alpha() float64 {
+	if p.Alpha == 0 {
+		return 1.0
+	}
+	return p.Alpha
+}
+
+// degreeSequence returns the exact out-degree of every vertex.  Degrees are
+// scaled so the total is as close as possible to EdgeFactor·N while each
+// vertex keeps at least one edge, then the highest-rank vertex absorbs the
+// rounding remainder, keeping the total exactly EdgeFactor·N.
+func (p PPL) degreeSequence() []uint64 {
+	n := int(p.NumVertices())
+	k := p.EdgeFactor
+	if k == 0 {
+		k = 16
+	}
+	target := uint64(k) * uint64(n)
+	inv := 1 / p.alpha()
+	weights := make([]float64, n)
+	var wsum float64
+	for i := range weights {
+		weights[i] = math.Pow(float64(i+1), -inv)
+		wsum += weights[i]
+	}
+	ds := make([]uint64, n)
+	var total uint64
+	for i := range ds {
+		d := uint64(math.Round(weights[i] / wsum * float64(target)))
+		if d < 1 {
+			d = 1
+		}
+		ds[i] = d
+		total += d
+	}
+	// Absorb the rounding error into vertex 0 (the hub).
+	switch {
+	case total < target:
+		ds[0] += target - total
+	case total > target:
+		excess := total - target
+		if ds[0] > excess {
+			ds[0] -= excess
+		} else {
+			// Degenerate parameterization (excess concentrated in the "at
+			// least 1" floors); trim from hubs in rank order.
+			for i := 0; excess > 0 && i < n; i++ {
+				cut := ds[i] - 1
+				if cut > excess {
+					cut = excess
+				}
+				ds[i] -= cut
+				excess -= cut
+			}
+		}
+	}
+	return ds
+}
+
+// Generate implements Generator.
+func (p PPL) Generate() (*edge.List, error) {
+	if p.Scale < 1 || p.Scale > 30 {
+		return nil, fmt.Errorf("gensuite: PPL scale %d out of range [1, 30]", p.Scale)
+	}
+	n := p.NumVertices()
+	ds := p.degreeSequence()
+	var m uint64
+	for _, d := range ds {
+		m += d
+	}
+	l := edge.NewList(int(m))
+	for u := uint64(0); u < n; u++ {
+		for j := uint64(0); j < ds[u]; j++ {
+			v := xrand.Mix64(p.Seed^xrand.Mix64(u*0x9E3779B97F4A7C15+j)) % n
+			l.Append(u, v)
+		}
+	}
+	return l, nil
+}
+
+// ---------------------------------------------------------------------------
+// Erdős–Rényi
+
+// ER is a G(n, m) Erdős–Rényi generator: M edges with both endpoints drawn
+// uniformly at random.  Its flat degree distribution makes it the control
+// case for kernel 2's super-node elimination (there is no super-node).
+type ER struct {
+	// Scale sets N = 2^Scale vertices.
+	Scale int
+	// EdgeFactor is the average edges per vertex.
+	EdgeFactor int
+	// Seed selects the random stream.
+	Seed uint64
+}
+
+// Name implements Generator.
+func (e ER) Name() string { return "er" }
+
+// NumVertices implements Generator.
+func (e ER) NumVertices() uint64 { return 1 << uint(e.Scale) }
+
+func (e ER) k() uint64 {
+	if e.EdgeFactor == 0 {
+		return 16
+	}
+	return uint64(e.EdgeFactor)
+}
+
+// NumEdges implements Generator.
+func (e ER) NumEdges() uint64 { return e.k() * e.NumVertices() }
+
+// Generate implements Generator.
+func (e ER) Generate() (*edge.List, error) {
+	if e.Scale < 1 || e.Scale > 30 {
+		return nil, fmt.Errorf("gensuite: ER scale %d out of range [1, 30]", e.Scale)
+	}
+	n := e.NumVertices()
+	m := e.NumEdges()
+	g := xrand.NewSeeded(e.Seed, 0)
+	l := edge.Make(int(m))
+	for i := 0; i < int(m); i++ {
+		l.Set(i, g.Uint64n(n), g.Uint64n(n))
+	}
+	return l, nil
+}
+
+// Interface conformance checks.
+var (
+	_ Generator = PPL{}
+	_ Generator = ER{}
+)

@@ -1,0 +1,169 @@
+package gensuite
+
+import (
+	"sort"
+	"testing"
+)
+
+func TestPPLDeterministic(t *testing.T) {
+	p := PPL{Scale: 8, EdgeFactor: 8}
+	a, err := p.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := p.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Equal(b) {
+		t.Error("PPL output is not deterministic")
+	}
+}
+
+func TestPPLEdgeCountExact(t *testing.T) {
+	for _, k := range []int{4, 8, 16} {
+		p := PPL{Scale: 9, EdgeFactor: k}
+		l, err := p.Generate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := uint64(k) << 9
+		if uint64(l.Len()) != want {
+			t.Errorf("k=%d: %d edges, want exactly %d", k, l.Len(), want)
+		}
+		if p.NumEdges() != want {
+			t.Errorf("k=%d: NumEdges = %d, want %d", k, p.NumEdges(), want)
+		}
+	}
+}
+
+func TestPPLDegreeSequenceIsPowerLaw(t *testing.T) {
+	p := PPL{Scale: 10, EdgeFactor: 16}
+	ds := p.degreeSequence()
+	// Monotone non-increasing (after the remainder-absorbing hub).
+	for i := 2; i < len(ds); i++ {
+		if ds[i] > ds[i-1] {
+			t.Fatalf("degree sequence not monotone at %d: %d > %d", i, ds[i], ds[i-1])
+		}
+	}
+	// Hub degree must dominate the median by a large factor.
+	sorted := append([]uint64(nil), ds...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] > sorted[j] })
+	if sorted[0] < 20*sorted[len(sorted)/2] {
+		t.Errorf("hub degree %d vs median %d: insufficient skew", sorted[0], sorted[len(sorted)/2])
+	}
+	// Check the power-law ratio: d(i) / d(2i) should be about 2^(1/alpha) = 2.
+	r := float64(ds[16]) / float64(ds[33])
+	if r < 1.5 || r > 2.7 {
+		t.Errorf("power-law ratio d(16)/d(33) = %.2f, want ~2", r)
+	}
+}
+
+func TestPPLSeedChangesTargetsOnly(t *testing.T) {
+	a, _ := PPL{Scale: 7, EdgeFactor: 4, Seed: 1}.Generate()
+	b, _ := PPL{Scale: 7, EdgeFactor: 4, Seed: 2}.Generate()
+	if a.Len() != b.Len() {
+		t.Fatal("seed changed edge count")
+	}
+	// Sources identical, targets different.
+	diffV, diffU := 0, 0
+	for i := 0; i < a.Len(); i++ {
+		if a.U[i] != b.U[i] {
+			diffU++
+		}
+		if a.V[i] != b.V[i] {
+			diffV++
+		}
+	}
+	if diffU != 0 {
+		t.Errorf("%d source vertices changed with seed", diffU)
+	}
+	if diffV == 0 {
+		t.Error("targets unchanged with different seed")
+	}
+}
+
+func TestPPLVerticesInRange(t *testing.T) {
+	p := PPL{Scale: 6, EdgeFactor: 16, Seed: 9}
+	l, err := p.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := p.NumVertices()
+	for i := 0; i < l.Len(); i++ {
+		u, v := l.At(i)
+		if u >= n || v >= n {
+			t.Fatalf("edge (%d,%d) out of range N=%d", u, v, n)
+		}
+	}
+}
+
+func TestPPLInvalidScale(t *testing.T) {
+	if _, err := (PPL{Scale: 0}).Generate(); err == nil {
+		t.Error("scale 0 accepted")
+	}
+	if _, err := (PPL{Scale: 31}).Generate(); err == nil {
+		t.Error("scale 31 accepted")
+	}
+}
+
+func TestERBasics(t *testing.T) {
+	e := ER{Scale: 8, EdgeFactor: 16, Seed: 3}
+	l, err := e.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if uint64(l.Len()) != e.NumEdges() {
+		t.Fatalf("ER generated %d edges, want %d", l.Len(), e.NumEdges())
+	}
+	n := e.NumVertices()
+	for i := 0; i < l.Len(); i++ {
+		u, v := l.At(i)
+		if u >= n || v >= n {
+			t.Fatalf("edge (%d,%d) out of range", u, v)
+		}
+	}
+}
+
+func TestERDeterministicPerSeed(t *testing.T) {
+	a, _ := ER{Scale: 7, Seed: 1}.Generate()
+	b, _ := ER{Scale: 7, Seed: 1}.Generate()
+	c, _ := ER{Scale: 7, Seed: 2}.Generate()
+	if !a.Equal(b) {
+		t.Error("ER not deterministic")
+	}
+	if a.Equal(c) {
+		t.Error("ER ignores seed")
+	}
+}
+
+func TestERFlatDegrees(t *testing.T) {
+	e := ER{Scale: 10, EdgeFactor: 16, Seed: 5}
+	l, _ := e.Generate()
+	deg := make([]int, e.NumVertices())
+	for _, u := range l.U {
+		deg[u]++
+	}
+	max := 0
+	for _, d := range deg {
+		if d > max {
+			max = d
+		}
+	}
+	// Poisson(16): the max over 1024 draws stays far below power-law hubs.
+	if max > 60 {
+		t.Errorf("ER max out-degree %d too skewed for a Poisson(16)", max)
+	}
+}
+
+func TestERInvalidScale(t *testing.T) {
+	if _, err := (ER{Scale: 0}).Generate(); err == nil {
+		t.Error("scale 0 accepted")
+	}
+}
+
+func TestGeneratorNames(t *testing.T) {
+	if (PPL{}).Name() != "ppl" || (ER{}).Name() != "er" {
+		t.Error("unexpected generator names")
+	}
+}

@@ -1,0 +1,164 @@
+package graphblas
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/xrand"
+)
+
+func isZeroF(v float64) bool { return v == 0 }
+
+func TestMxMSmall(t *testing.T) {
+	// A = [[0,1],[0,0]], B = [[0,2],[3,0]]: A·B = [[3,0],[0,0]].
+	a, _ := Build(2, []int{0}, []int{1}, []float64{1}, PlusFloat64.Op)
+	b, _ := Build(2, []int{0, 1}, []int{1, 0}, []float64{2, 3}, PlusFloat64.Op)
+	c, err := MxM(a, b, PlusTimesFloat64, isZeroF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := c.At(0, 0); !ok || v != 3 {
+		t.Errorf("C(0,0) = %v,%v want 3", v, ok)
+	}
+	if c.NNZ() != 1 {
+		t.Errorf("NNZ = %d", c.NNZ())
+	}
+}
+
+func TestMxMAgainstDense(t *testing.T) {
+	const n = 24
+	g := xrand.New(4)
+	build := func(seed uint64) (*Matrix[float64], [][]float64) {
+		gg := xrand.New(seed)
+		var rows, cols []int
+		var vals []float64
+		dense := make([][]float64, n)
+		for i := range dense {
+			dense[i] = make([]float64, n)
+		}
+		for k := 0; k < 100; k++ {
+			i, j := gg.Intn(n), gg.Intn(n)
+			v := float64(gg.Intn(5) + 1)
+			rows = append(rows, i)
+			cols = append(cols, j)
+			vals = append(vals, v)
+			dense[i][j] += v
+		}
+		m, err := Build(n, rows, cols, vals, PlusFloat64.Op)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m, dense
+	}
+	a, da := build(g.Next())
+	b, db := build(g.Next())
+	c, err := MxM(a, b, PlusTimesFloat64, isZeroF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			var want float64
+			for k := 0; k < n; k++ {
+				want += da[i][k] * db[k][j]
+			}
+			got, _ := c.At(i, j)
+			if math.Abs(got-want) > 1e-9 {
+				t.Fatalf("C(%d,%d) = %v, want %v", i, j, got, want)
+			}
+		}
+	}
+}
+
+func TestMxMErrors(t *testing.T) {
+	a, _ := Build(2, nil, nil, []float64{}, PlusFloat64.Op)
+	b, _ := Build(3, nil, nil, []float64{}, PlusFloat64.Op)
+	if _, err := MxM(a, b, PlusTimesFloat64, isZeroF); err == nil {
+		t.Error("dimension mismatch accepted")
+	}
+	if _, err := MxM(a, a, PlusTimesFloat64, nil); err == nil {
+		t.Error("nil isZero accepted")
+	}
+}
+
+func TestMxMTriangleCounting(t *testing.T) {
+	// Triangle counting via trace(A³)/6 on an undirected triangle plus a
+	// pendant edge — a classic GraphBLAS application exercising MxM with
+	// the arithmetic semiring.
+	//
+	// Graph: 0-1, 1-2, 2-0 (triangle), 2-3 (pendant), symmetric.
+	rows := []int{0, 1, 1, 2, 2, 0, 2, 3}
+	cols := []int{1, 0, 2, 1, 0, 2, 3, 2}
+	ones := []float64{1, 1, 1, 1, 1, 1, 1, 1}
+	a, err := Build(4, rows, cols, ones, PlusFloat64.Op)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := MxM(a, a, PlusTimesFloat64, isZeroF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a3, err := MxM(a2, a, PlusTimesFloat64, isZeroF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var trace float64
+	for i := 0; i < 4; i++ {
+		if v, ok := a3.At(i, i); ok {
+			trace += v
+		}
+	}
+	if got := trace / 6; got != 1 {
+		t.Errorf("triangle count = %v, want 1", got)
+	}
+}
+
+func TestMxMMinPlusAllPairsStep(t *testing.T) {
+	// One (min,+) matrix square doubles the path-length horizon.
+	inf := math.Inf(1)
+	_ = inf
+	// Path 0→1→2, weights 1 and 2; A² must contain the 2-hop distance 3.
+	a, _ := Build(3, []int{0, 1}, []int{1, 2}, []float64{1, 2}, MinFloat64.Op)
+	a2, err := MxM(a, a, MinPlusFloat64, func(v float64) bool { return math.IsInf(v, 1) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := a2.At(0, 2); !ok || v != 3 {
+		t.Errorf("2-hop distance = %v,%v want 3", v, ok)
+	}
+}
+
+func TestMxMIdentity(t *testing.T) {
+	// A·I == A with the arithmetic semiring.
+	g := xrand.New(9)
+	var rows, cols []int
+	var vals []float64
+	for k := 0; k < 50; k++ {
+		rows = append(rows, g.Intn(10))
+		cols = append(cols, g.Intn(10))
+		vals = append(vals, g.Float64()+0.1)
+	}
+	a, _ := Build(10, rows, cols, vals, PlusFloat64.Op)
+	var ir, ic []int
+	var iv []float64
+	for i := 0; i < 10; i++ {
+		ir = append(ir, i)
+		ic = append(ic, i)
+		iv = append(iv, 1)
+	}
+	id, _ := Build(10, ir, ic, iv, PlusFloat64.Op)
+	c, err := MxM(a, id, PlusTimesFloat64, isZeroF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NNZ() != a.NNZ() {
+		t.Fatalf("A·I NNZ %d != %d", c.NNZ(), a.NNZ())
+	}
+	r1, c1, v1 := a.ExtractTuples()
+	r2, c2, v2 := c.ExtractTuples()
+	for i := range r1 {
+		if r1[i] != r2[i] || c1[i] != c2[i] || math.Abs(v1[i]-v2[i]) > 1e-12 {
+			t.Fatalf("A·I differs at %d", i)
+		}
+	}
+}

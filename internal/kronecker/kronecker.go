@@ -1,0 +1,244 @@
+// Package kronecker implements the Graph500 Kronecker graph generator used
+// by kernel 0 of the PageRank pipeline benchmark.
+//
+// The generator is the stochastic Kronecker ("R-MAT style") recursive
+// quadrant sampler from the Graph500 reference implementation: for each of
+// the S bit levels of a scale-S graph, an edge's endpoints gain one bit
+// each, chosen with initiator probabilities (A, B, C, D) = (0.57, 0.19,
+// 0.19, 0.05).  The paper fixes the edge factor at k = 16, giving
+// N = 2^S vertices and M = k·N edges.  Following the Graph500 kernel,
+// vertex labels are scrambled with a random permutation and the edge order
+// is shuffled, so the output carries no accidental structure for kernel 1's
+// sort to exploit.
+//
+// Generation is reproducible: the same Config always produces the same edge
+// list, and GenerateParallel is reproducible for a fixed worker count (each
+// worker draws from an independent jump-derived stream, the Graph500
+// "no communication between processors" property).
+package kronecker
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/edge"
+	"repro/internal/fastio"
+	"repro/internal/xrand"
+)
+
+// Graph500 initiator probabilities.
+const (
+	DefaultA = 0.57
+	DefaultB = 0.19
+	DefaultC = 0.19
+	DefaultD = 0.05
+)
+
+// DefaultEdgeFactor is the paper's k = 16 average edges per vertex.
+const DefaultEdgeFactor = 16
+
+// MaxScale bounds the accepted scale so that N = 2^S fits comfortably in
+// int/uint64 arithmetic on all platforms.
+const MaxScale = 40
+
+// Config parameterizes the generator.  The zero value is not valid; use
+// New or fill Scale and call Defaults.
+type Config struct {
+	// Scale is the Graph500 integer scale factor S; N = 2^S.
+	Scale int
+	// EdgeFactor is the average number of edges per vertex (k, default 16).
+	EdgeFactor int
+	// A, B, C, D are the Kronecker initiator probabilities; they must be
+	// positive and sum to 1.  Zero values select the Graph500 defaults.
+	A, B, C, D float64
+	// Seed selects the random stream.
+	Seed uint64
+	// SkipPermutation disables the vertex relabeling and edge shuffle.
+	// The raw Kronecker output is useful for validation because vertex
+	// popularity then decreases with label value.
+	SkipPermutation bool
+}
+
+// New returns a Config for the given scale and seed with all other fields
+// at their Graph500 defaults.
+func New(scale int, seed uint64) Config {
+	return Config{Scale: scale, Seed: seed}.Defaults()
+}
+
+// Defaults returns a copy of c with zero fields replaced by the Graph500
+// defaults.
+func (c Config) Defaults() Config {
+	if c.EdgeFactor == 0 {
+		c.EdgeFactor = DefaultEdgeFactor
+	}
+	if c.A == 0 && c.B == 0 && c.C == 0 && c.D == 0 {
+		c.A, c.B, c.C, c.D = DefaultA, DefaultB, DefaultC, DefaultD
+	}
+	return c
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	if c.Scale < 1 || c.Scale > MaxScale {
+		return fmt.Errorf("kronecker: scale %d out of range [1, %d]", c.Scale, MaxScale)
+	}
+	if c.EdgeFactor < 1 {
+		return fmt.Errorf("kronecker: edge factor %d, want >= 1", c.EdgeFactor)
+	}
+	sum := c.A + c.B + c.C + c.D
+	if c.A <= 0 || c.B <= 0 || c.C <= 0 || c.D <= 0 || sum < 0.999 || sum > 1.001 {
+		return fmt.Errorf("kronecker: initiator probabilities (%v, %v, %v, %v) must be positive and sum to 1", c.A, c.B, c.C, c.D)
+	}
+	return nil
+}
+
+// N returns the number of vertices, 2^Scale.
+func (c Config) N() uint64 { return 1 << uint(c.Scale) }
+
+// M returns the number of edges, EdgeFactor · N.
+func (c Config) M() uint64 {
+	cc := c.Defaults()
+	return uint64(cc.EdgeFactor) << uint(cc.Scale)
+}
+
+// sampler holds the per-level quadrant sampling constants derived from the
+// initiator matrix, matching the Graph500 Octave kernel:
+//
+//	ab     = A + B
+//	cNorm  = C / (1 - (A+B))
+//	aNorm  = A / (A+B)
+//	iiBit  = rand > ab
+//	jjBit  = rand > (iiBit ? cNorm : aNorm)
+type sampler struct {
+	ab, cNorm, aNorm float64
+}
+
+func newSampler(c Config) sampler {
+	return sampler{
+		ab:    c.A + c.B,
+		cNorm: c.C / (1 - (c.A + c.B)),
+		aNorm: c.A / (c.A + c.B),
+	}
+}
+
+// edgeBits draws one scale-S edge from g.
+func (s sampler) edgeBits(g *xrand.Xoshiro256, scale int) (u, v uint64) {
+	for bit := 0; bit < scale; bit++ {
+		var ii, jj uint64
+		if g.Float64() > s.ab {
+			ii = 1
+		}
+		threshold := s.aNorm
+		if ii == 1 {
+			threshold = s.cNorm
+		}
+		if g.Float64() > threshold {
+			jj = 1
+		}
+		u |= ii << uint(bit)
+		v |= jj << uint(bit)
+	}
+	return u, v
+}
+
+// Generate produces the complete edge list for cfg serially.
+func Generate(cfg Config) (*edge.List, error) {
+	cfg = cfg.Defaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	m := cfg.M()
+	l := edge.Make(int(m))
+	g := xrand.NewSeeded(cfg.Seed, 0)
+	s := newSampler(cfg)
+	for i := uint64(0); i < m; i++ {
+		u, v := s.edgeBits(g, cfg.Scale)
+		l.Set(int(i), u, v)
+	}
+	finish(cfg, l)
+	return l, nil
+}
+
+// GenerateParallel produces the edge list using the given number of worker
+// goroutines, each drawing from an independent random stream.  workers <= 0
+// selects GOMAXPROCS.  Output is deterministic for a fixed (cfg, workers).
+func GenerateParallel(cfg Config, workers int) (*edge.List, error) {
+	cfg = cfg.Defaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	m := int(cfg.M())
+	if workers > m {
+		workers = m
+	}
+	l := edge.Make(m)
+	s := newSampler(cfg)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * m / workers
+		hi := (w + 1) * m / workers
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			g := xrand.NewSeeded(cfg.Seed, uint64(w)+1)
+			for i := lo; i < hi; i++ {
+				u, v := s.edgeBits(g, cfg.Scale)
+				l.Set(i, u, v)
+			}
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	finish(cfg, l)
+	return l, nil
+}
+
+// finish applies the Graph500 label permutation and edge shuffle.
+func finish(cfg Config, l *edge.List) {
+	if cfg.SkipPermutation {
+		return
+	}
+	pg := xrand.NewSeeded(cfg.Seed, permStream)
+	perm := pg.Perm(int(cfg.N()))
+	l.RelabelVertices(perm)
+	l.Shuffle(xrand.NewSeeded(cfg.Seed, shuffleStream))
+}
+
+// Reserved stream indices for the finishing steps, far from worker streams.
+const (
+	permStream    = 1<<63 + 1
+	shuffleStream = 1<<63 + 2
+)
+
+// GenerateTo streams the edges of cfg directly into sink without
+// materializing the full edge list, the entry point for the out-of-core
+// variant.  The vertex permutation (N uint64 words) is still applied — it
+// fits in memory whenever the benchmark itself is feasible — but the edge
+// shuffle is skipped: the Kronecker stream is already unordered with respect
+// to the start vertex, which is all kernel 1 needs.
+func GenerateTo(cfg Config, sink fastio.EdgeSink) error {
+	cfg = cfg.Defaults()
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	var perm []uint64
+	if !cfg.SkipPermutation {
+		perm = xrand.NewSeeded(cfg.Seed, permStream).Perm(int(cfg.N()))
+	}
+	g := xrand.NewSeeded(cfg.Seed, 0)
+	s := newSampler(cfg)
+	m := cfg.M()
+	for i := uint64(0); i < m; i++ {
+		u, v := s.edgeBits(g, cfg.Scale)
+		if perm != nil {
+			u, v = perm[u], perm[v]
+		}
+		if err := sink.WriteEdge(u, v); err != nil {
+			return err
+		}
+	}
+	return sink.Flush()
+}

@@ -1,0 +1,273 @@
+package kronecker
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/edge"
+	"repro/internal/fastio"
+)
+
+func TestConfigDerivedSizes(t *testing.T) {
+	c := New(10, 1)
+	if c.N() != 1024 {
+		t.Errorf("N = %d, want 1024", c.N())
+	}
+	if c.M() != 16384 {
+		t.Errorf("M = %d, want 16384", c.M())
+	}
+	// The paper's example: S = 30 gives N = 1,073,741,824 and M = 17,179,869,184.
+	c30 := New(30, 0)
+	if c30.N() != 1073741824 {
+		t.Errorf("N(30) = %d", c30.N())
+	}
+	if c30.M() != 17179869184 {
+		t.Errorf("M(30) = %d", c30.M())
+	}
+}
+
+func TestValidate(t *testing.T) {
+	bad := []Config{
+		{Scale: 0},
+		{Scale: 41},
+		{Scale: 10, EdgeFactor: -1, A: 0.25, B: 0.25, C: 0.25, D: 0.25},
+		{Scale: 10, EdgeFactor: 16, A: 0.9, B: 0.05, C: 0.04, D: 0.02}, // sums to 1.01
+		{Scale: 10, EdgeFactor: 16, A: 1, B: 0, C: 0, D: 0},            // zero entries
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d: Validate accepted %+v", i, c)
+		}
+	}
+	if err := New(10, 0).Validate(); err != nil {
+		t.Errorf("default config rejected: %v", err)
+	}
+}
+
+func TestGenerateSizesAndRange(t *testing.T) {
+	cfg := New(8, 42)
+	l, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if uint64(l.Len()) != cfg.M() {
+		t.Fatalf("generated %d edges, want %d", l.Len(), cfg.M())
+	}
+	n := cfg.N()
+	for i := 0; i < l.Len(); i++ {
+		u, v := l.At(i)
+		if u >= n || v >= n {
+			t.Fatalf("edge %d = (%d,%d) exceeds N = %d", i, u, v, n)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := New(7, 99)
+	a, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Equal(b) {
+		t.Error("same config generated different graphs")
+	}
+	cfg2 := New(7, 100)
+	c, _ := Generate(cfg2)
+	if a.Equal(c) {
+		t.Error("different seeds generated identical graphs")
+	}
+}
+
+func TestGenerateParallelDeterministicPerWorkerCount(t *testing.T) {
+	cfg := New(7, 5)
+	a, err := GenerateParallel(cfg, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateParallel(cfg, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Equal(b) {
+		t.Error("parallel generation not reproducible for fixed worker count")
+	}
+	if uint64(a.Len()) != cfg.M() {
+		t.Errorf("parallel generated %d edges, want %d", a.Len(), cfg.M())
+	}
+}
+
+func TestGenerateParallelStatisticallySimilarToSerial(t *testing.T) {
+	// Parallel and serial outputs differ in randomness but must share the
+	// skewed-degree character; compare max in-degree magnitudes loosely.
+	cfg := New(9, 7)
+	cfg.SkipPermutation = true
+	ser, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := GenerateParallel(cfg, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms, mp := maxOutDegree(ser, cfg.N()), maxOutDegree(par, cfg.N())
+	if ms < 10 || mp < 10 {
+		t.Fatalf("expected skewed degrees, got max out-degree serial=%d parallel=%d", ms, mp)
+	}
+	ratio := float64(ms) / float64(mp)
+	if ratio < 0.2 || ratio > 5 {
+		t.Errorf("serial and parallel degree skew differ wildly: %d vs %d", ms, mp)
+	}
+}
+
+func maxOutDegree(l *edge.List, n uint64) int {
+	deg := make([]int, n)
+	for _, u := range l.U {
+		deg[u]++
+	}
+	m := 0
+	for _, d := range deg {
+		if d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+func TestSkewTowardLowLabelsWithoutPermutation(t *testing.T) {
+	// With A = 0.57 the zero bit is favored at every level, so without the
+	// scrambling permutation, vertex 0's quadrant must be the most popular.
+	cfg := New(10, 3)
+	cfg.SkipPermutation = true
+	l, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := cfg.N()
+	lowHalf := 0
+	for _, u := range l.U {
+		if u < n/2 {
+			lowHalf++
+		}
+	}
+	frac := float64(lowHalf) / float64(l.Len())
+	// Expected fraction with start vertex in the low half is A + B = 0.76.
+	if math.Abs(frac-0.76) > 0.02 {
+		t.Errorf("low-half start-vertex fraction = %.3f, want ~0.76", frac)
+	}
+}
+
+func TestPermutationPreservesDegreeMultiset(t *testing.T) {
+	cfg := New(8, 11)
+	raw := cfg
+	raw.SkipPermutation = true
+	a, err := Generate(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Vertex relabeling is a bijection, so the multiset of out-degree
+	// values must be identical between raw and permuted outputs.
+	da := degreeHistogram(a, cfg.N())
+	db := degreeHistogram(b, cfg.N())
+	if len(da) != len(db) {
+		t.Fatalf("degree histograms differ in support: %d vs %d", len(da), len(db))
+	}
+	for k, v := range da {
+		if db[k] != v {
+			t.Fatalf("degree %d count %d vs %d", k, v, db[k])
+		}
+	}
+}
+
+func degreeHistogram(l *edge.List, n uint64) map[int]int {
+	deg := make([]int, n)
+	for _, u := range l.U {
+		deg[u]++
+	}
+	h := make(map[int]int)
+	for _, d := range deg {
+		h[d]++
+	}
+	return h
+}
+
+func TestGenerateToMatchesPermutedVertexStatistics(t *testing.T) {
+	cfg := New(8, 21)
+	sinkList := edge.NewList(int(cfg.M()))
+	if err := GenerateTo(cfg, fastio.NewListSink(sinkList)); err != nil {
+		t.Fatal(err)
+	}
+	if uint64(sinkList.Len()) != cfg.M() {
+		t.Fatalf("streamed %d edges, want %d", sinkList.Len(), cfg.M())
+	}
+	n := cfg.N()
+	for i := 0; i < sinkList.Len(); i++ {
+		u, v := sinkList.At(i)
+		if u >= n || v >= n {
+			t.Fatalf("streamed edge (%d,%d) out of range", u, v)
+		}
+	}
+	// The streamed variant uses the same edge randomness and the same
+	// permutation stream as Generate; only the final shuffle differs, so
+	// the edge multisets must be identical.
+	full, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !full.SameMultiset(sinkList) {
+		t.Error("GenerateTo and Generate disagree on the edge multiset")
+	}
+}
+
+func TestGenerateInvalidConfig(t *testing.T) {
+	if _, err := Generate(Config{Scale: -1}); err == nil {
+		t.Error("Generate accepted invalid config")
+	}
+	if _, err := GenerateParallel(Config{Scale: -1}, 2); err == nil {
+		t.Error("GenerateParallel accepted invalid config")
+	}
+	if err := GenerateTo(Config{Scale: -1}, fastio.NewListSink(edge.NewList(0))); err == nil {
+		t.Error("GenerateTo accepted invalid config")
+	}
+}
+
+func TestSelfLoopsAndDuplicatesExpected(t *testing.T) {
+	// The paper notes the generator produces duplicate edges ("collisions")
+	// and diagonal entries; verify both occur at moderate scale.
+	cfg := New(10, 13)
+	l, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := l.Counts()
+	if len(counts) >= l.Len() {
+		t.Error("expected duplicate edges in Kronecker output, found none")
+	}
+	selfLoops := 0
+	for i := 0; i < l.Len(); i++ {
+		u, v := l.At(i)
+		if u == v {
+			selfLoops++
+		}
+	}
+	if selfLoops == 0 {
+		t.Error("expected some self-loop edges, found none")
+	}
+}
+
+func BenchmarkGenerateScale12(b *testing.B) {
+	cfg := New(12, 1)
+	b.SetBytes(int64(cfg.M()))
+	for i := 0; i < b.N; i++ {
+		if _, err := Generate(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,84 @@
+package pagerank
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/edge"
+	"repro/internal/sparse"
+)
+
+func TestConvergenceStudyMonotoneInDamping(t *testing.T) {
+	a := filteredMatrix(t, 31, 128, 2000)
+	pts, err := ConvergenceStudy(a, []float64{0.5, 0.7, 0.85, 0.95}, 1e-10, 2000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 4 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	for i, p := range pts {
+		if !p.Converged {
+			t.Fatalf("damping %v did not converge (%d iterations, diff %v)", p.Damping, p.Iterations, p.FinalDiff)
+		}
+		if i > 0 && p.Iterations <= pts[i-1].Iterations {
+			t.Errorf("iterations not increasing with damping: c=%v took %d, c=%v took %d",
+				pts[i-1].Damping, pts[i-1].Iterations, p.Damping, p.Iterations)
+		}
+	}
+}
+
+func TestConvergenceMatchesContractionTheory(t *testing.T) {
+	// On a directed cycle the adjacency matrix is a permutation, so the
+	// Google matrix's subdominant eigenvalue modulus is exactly c and
+	// iterations to tolerance ≈ log(tol)/log(c).  Check within 2x.
+	const n = 64
+	l := cycleEdges(n)
+	a, err := sparse.FromEdges(l, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.ScaleRows(a.OutDegrees())
+	const tol = 1e-8
+	pts, err := ConvergenceStudy(a, []float64{0.85}, tol, 2000, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	theory := math.Log(tol) / math.Log(0.85)
+	got := float64(pts[0].Iterations)
+	if got < theory/2 || got > theory*2 {
+		t.Errorf("iterations %v, contraction theory predicts ~%.0f", got, theory)
+	}
+}
+
+func cycleEdges(n int) *edge.List {
+	l := edge.NewList(n)
+	for u := uint64(0); u < uint64(n); u++ {
+		l.Append(u, (u+1)%uint64(n))
+	}
+	return l
+}
+
+func TestConvergenceStudyValidation(t *testing.T) {
+	a := filteredMatrix(t, 33, 16, 100)
+	if _, err := ConvergenceStudy(a, []float64{0.85}, 0, 10, 1); err == nil {
+		t.Error("zero tolerance accepted")
+	}
+	if _, err := ConvergenceStudy(a, []float64{2.0}, 1e-6, 10, 1); err == nil {
+		t.Error("invalid damping accepted")
+	}
+}
+
+func TestConvergenceStudyCap(t *testing.T) {
+	a := filteredMatrix(t, 34, 64, 800)
+	pts, err := ConvergenceStudy(a, []float64{0.99}, 1e-15, 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pts[0].Converged {
+		t.Error("5 iterations at c=0.99 cannot reach 1e-15")
+	}
+	if pts[0].Iterations != 5 {
+		t.Errorf("cap not respected: %d", pts[0].Iterations)
+	}
+}

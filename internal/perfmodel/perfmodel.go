@@ -1,0 +1,284 @@
+// Package perfmodel implements the simple hardware performance models the
+// paper calls for: "the computations are simple enough that performance
+// predictions can be made based on simple computing hardware models."
+//
+// Each kernel's cost is modeled as the larger of its compute demand and its
+// bandwidth demand on the relevant channel (a roofline-style bound):
+//
+//	K0  generate:  random-bit compute vs. storage-write bandwidth
+//	K1  sort:      storage read+write plus radix passes over memory
+//	K2  filter:    storage read plus scatter traffic to build the matrix
+//	K3  pagerank:  pure memory streaming over the CSR per iteration,
+//	               plus — in the parallel model — an all-reduce of the
+//	               rank vector per iteration (the paper's predicted
+//	               communication bottleneck)
+//
+// The models intentionally have few parameters; they predict orders of
+// magnitude and shapes (which kernel is slowest, where parallel scaling
+// rolls off), not exact numbers.
+package perfmodel
+
+import (
+	"fmt"
+	"math"
+)
+
+// Hardware is the parameter set of the machine model.
+type Hardware struct {
+	// Name labels the model in reports.
+	Name string
+	// ScalarRate is sustained simple operations per second per core.
+	ScalarRate float64
+	// MemBandwidth is sustained memory bandwidth in bytes/second.
+	MemBandwidth float64
+	// StorageReadBW and StorageWriteBW are storage bandwidths in bytes/s.
+	StorageReadBW  float64
+	StorageWriteBW float64
+	// NetLatency is the per-collective-hop latency in seconds.
+	NetLatency float64
+	// NetBandwidth is the per-link network bandwidth in bytes/second.
+	NetBandwidth float64
+	// Cores is the per-node core count.
+	Cores int
+}
+
+// Validate reports parameter errors.
+func (h Hardware) Validate() error {
+	for _, f := range []struct {
+		name string
+		v    float64
+	}{
+		{"ScalarRate", h.ScalarRate},
+		{"MemBandwidth", h.MemBandwidth},
+		{"StorageReadBW", h.StorageReadBW},
+		{"StorageWriteBW", h.StorageWriteBW},
+		{"NetBandwidth", h.NetBandwidth},
+	} {
+		if f.v <= 0 {
+			return fmt.Errorf("perfmodel: %s = %v, want > 0", f.name, f.v)
+		}
+	}
+	if h.NetLatency < 0 {
+		return fmt.Errorf("perfmodel: negative NetLatency")
+	}
+	if h.Cores < 1 {
+		return fmt.Errorf("perfmodel: Cores = %d", h.Cores)
+	}
+	return nil
+}
+
+// PaperNode models the paper's test platform: an Intel Xeon E5-2650
+// (2 GHz, 16 cores) with 64 GB of RAM and a Lustre filesystem.
+func PaperNode() Hardware {
+	return Hardware{
+		Name:           "xeon-e5-2650-lustre",
+		ScalarRate:     2e9,   // 2 GHz, ~1 simple op/cycle/core
+		MemBandwidth:   40e9,  // DDR3-1600 4-channel class
+		StorageReadBW:  800e6, // shared Lustre, single-client
+		StorageWriteBW: 500e6,
+		NetLatency:     2e-6, // InfiniBand class
+		NetBandwidth:   5e9,  // 40 Gb/s class
+		Cores:          16,
+	}
+}
+
+// Workload carries the benchmark parameters the predictions depend on.
+type Workload struct {
+	// Scale is the Graph500 scale factor.
+	Scale int
+	// EdgeFactor is edges per vertex (16 in the benchmark).
+	EdgeFactor int
+	// Iterations is the kernel-3 iteration count (20 in the benchmark).
+	Iterations int
+	// BytesPerEdgeText is the average encoded text size of one edge.
+	BytesPerEdgeText float64
+}
+
+func (w Workload) withDefaults() Workload {
+	if w.EdgeFactor == 0 {
+		w.EdgeFactor = 16
+	}
+	if w.Iterations == 0 {
+		w.Iterations = 20
+	}
+	if w.BytesPerEdgeText == 0 {
+		// Two ~6-digit labels, tab, newline at the paper's scales.
+		w.BytesPerEdgeText = 14
+	}
+	return w
+}
+
+// N returns the vertex count.
+func (w Workload) N() float64 { return math.Exp2(float64(w.Scale)) }
+
+// M returns the edge count.
+func (w Workload) M() float64 { return float64(w.withDefaults().EdgeFactor) * w.N() }
+
+// Model tuning constants: operation and traffic charges per edge.  These
+// are the "simple hardware model" knobs; they are deliberately coarse.
+const (
+	// genOpsPerBit is the work to draw and place one Kronecker bit level
+	// (two PRNG draws, two compares, two shifts).
+	genOpsPerBit = 12.0
+	// formatOpsPerByte / parseOpsPerByte are text codec costs.
+	formatOpsPerByte = 2.0
+	parseOpsPerByte  = 3.0
+	// radixBytesPerEdgePass is memory traffic per edge per radix pass:
+	// read 16 B + write 16 B.
+	radixBytesPerEdgePass = 32.0
+	// buildBytesPerEdge charges kernel 2's scatter: one cache line read
+	// plus write amortized per edge placed out of order.
+	buildBytesPerEdge = 96.0
+	// spmvBytesPerNNZ is kernel 3's streaming traffic per stored entry:
+	// 4 B column index + 8 B value + one amortized random access into the
+	// rank vector (charged a half cache line) + output accumulation.
+	spmvBytesPerNNZ = 52.0
+	// collisionFactor approximates NNZ/M after duplicate accumulation in
+	// Kronecker graphs at paper scales.
+	collisionFactor = 0.8
+)
+
+// Prediction is one kernel's predicted performance.
+type Prediction struct {
+	// Seconds is the predicted kernel duration.
+	Seconds float64
+	// EdgesPerSecond is the paper's metric for the kernel.
+	EdgesPerSecond float64
+	// Bound names the binding resource ("compute", "memory", "storage",
+	// "network").
+	Bound string
+}
+
+func prediction(edges float64, times map[string]float64) Prediction {
+	var total float64
+	bound, worst := "", 0.0
+	for k, t := range times {
+		total += t
+		if t > worst {
+			worst, bound = t, k
+		}
+	}
+	return Prediction{Seconds: total, EdgesPerSecond: edges / total, Bound: bound}
+}
+
+// Kernel0 predicts graph generation and write-out.
+func Kernel0(h Hardware, w Workload) Prediction {
+	w = w.withDefaults()
+	m := w.M()
+	compute := m * (genOpsPerBit*float64(w.Scale) + formatOpsPerByte*w.BytesPerEdgeText) / h.ScalarRate
+	storage := m * w.BytesPerEdgeText / h.StorageWriteBW
+	return prediction(m, map[string]float64{"compute": compute, "storage": storage})
+}
+
+// Kernel1 predicts read, radix sort, write.
+func Kernel1(h Hardware, w Workload) Prediction {
+	w = w.withDefaults()
+	m := w.M()
+	passes := math.Ceil(float64(w.Scale) / 8)
+	compute := m * (parseOpsPerByte + formatOpsPerByte) * w.BytesPerEdgeText / h.ScalarRate
+	memory := m * radixBytesPerEdgePass * passes / h.MemBandwidth
+	storage := m*w.BytesPerEdgeText/h.StorageReadBW + m*w.BytesPerEdgeText/h.StorageWriteBW
+	return prediction(m, map[string]float64{"compute": compute, "memory": memory, "storage": storage})
+}
+
+// Kernel2 predicts read plus matrix construction and filtering.
+func Kernel2(h Hardware, w Workload) Prediction {
+	w = w.withDefaults()
+	m := w.M()
+	compute := m * parseOpsPerByte * w.BytesPerEdgeText / h.ScalarRate
+	memory := m * buildBytesPerEdge / h.MemBandwidth
+	storage := m * w.BytesPerEdgeText / h.StorageReadBW
+	return prediction(m, map[string]float64{"compute": compute, "memory": memory, "storage": storage})
+}
+
+// Kernel3 predicts the fixed-iteration PageRank sweep.  Its reported rate
+// uses Iterations·M edges, following the paper.
+func Kernel3(h Hardware, w Workload) Prediction {
+	w = w.withDefaults()
+	m := w.M()
+	nnz := m * collisionFactor
+	iters := float64(w.Iterations)
+	memory := iters * nnz * spmvBytesPerNNZ / h.MemBandwidth
+	compute := iters * nnz * 2 / h.ScalarRate // multiply-add per entry
+	return prediction(iters*m, map[string]float64{"memory": memory, "compute": compute})
+}
+
+// All returns predictions for the four kernels in order.
+func All(h Hardware, w Workload) [4]Prediction {
+	return [4]Prediction{Kernel0(h, w), Kernel1(h, w), Kernel2(h, w), Kernel3(h, w)}
+}
+
+// ---------------------------------------------------------------------------
+// Parallel kernel-3 model (the paper's communication analysis)
+
+// ParallelKernel3 predicts the distributed PageRank of package dist on p
+// nodes of hardware h: compute time divides by p, while each iteration adds
+// an all-reduce of the N-element rank vector whose cost grows with p.  The
+// returned prediction's Bound turns "network" once the collective
+// dominates — the paper's predicted behavior.
+func ParallelKernel3(h Hardware, w Workload, p int) Prediction {
+	w = w.withDefaults()
+	if p < 1 {
+		p = 1
+	}
+	m := w.M()
+	n := w.N()
+	iters := float64(w.Iterations)
+	nnz := m * collisionFactor
+	memory := iters * nnz * spmvBytesPerNNZ / h.MemBandwidth / float64(p)
+	compute := iters * nnz * 2 / h.ScalarRate / float64(p)
+	network := 0.0
+	if p > 1 {
+		perIter := 2*n*8*float64(p-1)/float64(p)/h.NetBandwidth + math.Log2(float64(p))*h.NetLatency
+		network = iters * perIter
+	}
+	times := map[string]float64{"memory": memory, "compute": compute}
+	if p > 1 {
+		times["network"] = network
+	}
+	return prediction(iters*m, times)
+}
+
+// ParallelKernel1 models the distributed sample sort of dist.Sort on p
+// nodes: per-node storage and radix work divide by p, while the all-to-all
+// exchange moves M·16·(p-1)/p bytes in aggregate — each node injects its
+// 1/p share at NetBandwidth — plus a splitter-exchange latency term.
+func ParallelKernel1(h Hardware, w Workload, p int) Prediction {
+	w = w.withDefaults()
+	if p < 1 {
+		p = 1
+	}
+	m := w.M()
+	passes := math.Ceil(float64(w.Scale) / 8)
+	compute := m * (parseOpsPerByte + formatOpsPerByte) * w.BytesPerEdgeText / h.ScalarRate / float64(p)
+	memory := m * radixBytesPerEdgePass * passes / h.MemBandwidth / float64(p)
+	storage := (m*w.BytesPerEdgeText/h.StorageReadBW + m*w.BytesPerEdgeText/h.StorageWriteBW) / float64(p)
+	times := map[string]float64{"compute": compute, "memory": memory, "storage": storage}
+	if p > 1 {
+		perNode := m / float64(p) * 16 * float64(p-1) / float64(p)
+		times["network"] = perNode/h.NetBandwidth + 2*math.Log2(float64(p))*h.NetLatency
+	}
+	return prediction(m, times)
+}
+
+// Speedup returns ParallelKernel3(p).EdgesPerSecond relative to p = 1.
+func Speedup(h Hardware, w Workload, p int) float64 {
+	base := ParallelKernel3(h, w, 1).EdgesPerSecond
+	return ParallelKernel3(h, w, p).EdgesPerSecond / base
+}
+
+// CommBoundProcessorCount returns the smallest p at which the network time
+// of the parallel kernel-3 model exceeds its memory time — the scale where
+// the paper's "likely to be limited by network communication" kicks in.
+// It returns 0 if no p up to maxP is communication bound.
+func CommBoundProcessorCount(h Hardware, w Workload, maxP int) int {
+	w = w.withDefaults()
+	for p := 2; p <= maxP; p *= 2 {
+		m := w.M() * collisionFactor * spmvBytesPerNNZ / h.MemBandwidth / float64(p)
+		net := 2*w.N()*8*float64(p-1)/float64(p)/h.NetBandwidth + math.Log2(float64(p))*h.NetLatency
+		if net > m {
+			return p
+		}
+	}
+	return 0
+}

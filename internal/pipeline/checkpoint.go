@@ -1,0 +1,192 @@
+package pipeline
+
+// Checkpoint/restart — the paper's Figure 2 lists checkpointing and
+// restarting among the administrative operations big-data systems must
+// support.  A checkpoint captures everything kernel 3 needs to continue: the
+// filtered normalized matrix (kernel 2's output) and the rank vector with
+// its completed iteration count.  A pipeline can therefore be stopped after
+// any K3 iteration boundary and resumed on another process or machine,
+// producing exactly the result an uninterrupted run would have produced.
+//
+// Layout: two files under the checkpoint name — "<name>.matrix" in the
+// binary CSR format and "<name>.state" holding the rank vector, iteration
+// count and damping, both checksummed.
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+
+	"repro/internal/pagerank"
+	"repro/internal/sparse"
+	"repro/internal/vfs"
+)
+
+// Checkpoint is a resumable kernel-3 state.
+type Checkpoint struct {
+	// Matrix is the filtered, normalized adjacency matrix.
+	Matrix *sparse.CSR
+	// Rank is the rank vector after CompletedIterations updates.
+	Rank []float64
+	// CompletedIterations counts the K3 iterations already performed.
+	CompletedIterations int
+	// Damping is the c the completed iterations used; resuming with a
+	// different damping is rejected.
+	Damping float64
+}
+
+var stateMagic = [4]byte{'P', 'R', 'S', '1'}
+
+// Save writes the checkpoint under name in fs.
+func Save(fs vfs.FS, name string, cp *Checkpoint) error {
+	if cp.Matrix == nil || len(cp.Rank) != cp.Matrix.N {
+		return fmt.Errorf("pipeline: malformed checkpoint (matrix %v, rank %d)", cp.Matrix != nil, len(cp.Rank))
+	}
+	mw, err := fs.Create(name + ".matrix")
+	if err != nil {
+		return err
+	}
+	if _, err := cp.Matrix.WriteTo(mw); err != nil {
+		mw.Close()
+		return err
+	}
+	if err := mw.Close(); err != nil {
+		return err
+	}
+	sw, err := fs.Create(name + ".state")
+	if err != nil {
+		return err
+	}
+	if err := writeState(sw, cp); err != nil {
+		sw.Close()
+		return err
+	}
+	return sw.Close()
+}
+
+func writeState(w io.Writer, cp *Checkpoint) error {
+	crc := crc32.NewIEEE()
+	bw := bufio.NewWriterSize(io.MultiWriter(w, crc), 64<<10)
+	bits := make([]uint64, len(cp.Rank))
+	for i, v := range cp.Rank {
+		bits[i] = math.Float64bits(v)
+	}
+	for _, part := range []any{
+		stateMagic,
+		int64(len(cp.Rank)),
+		int64(cp.CompletedIterations),
+		math.Float64bits(cp.Damping),
+		bits,
+	} {
+		if err := binary.Write(bw, binary.LittleEndian, part); err != nil {
+			return err
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	return binary.Write(w, binary.LittleEndian, crc.Sum32())
+}
+
+// Load reads a checkpoint previously written by Save.
+func Load(fs vfs.FS, name string) (*Checkpoint, error) {
+	mr, err := fs.Open(name + ".matrix")
+	if err != nil {
+		return nil, err
+	}
+	defer mr.Close()
+	matrix, err := sparse.ReadCSR(mr)
+	if err != nil {
+		return nil, fmt.Errorf("pipeline: checkpoint matrix: %w", err)
+	}
+	sr, err := fs.Open(name + ".state")
+	if err != nil {
+		return nil, err
+	}
+	defer sr.Close()
+	cp, err := readState(sr)
+	if err != nil {
+		return nil, fmt.Errorf("pipeline: checkpoint state: %w", err)
+	}
+	cp.Matrix = matrix
+	if len(cp.Rank) != matrix.N {
+		return nil, fmt.Errorf("pipeline: checkpoint rank length %d != matrix N %d", len(cp.Rank), matrix.N)
+	}
+	return cp, nil
+}
+
+func readState(r io.Reader) (*Checkpoint, error) {
+	crc := crc32.NewIEEE()
+	br := bufio.NewReaderSize(r, 64<<10)
+	read := func(n int) ([]byte, error) {
+		buf := make([]byte, n)
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return nil, err
+		}
+		crc.Write(buf)
+		return buf, nil
+	}
+	head, err := read(4 + 8 + 8 + 8)
+	if err != nil {
+		return nil, err
+	}
+	if [4]byte(head[:4]) != stateMagic {
+		return nil, fmt.Errorf("bad magic %q", head[:4])
+	}
+	n := int64(binary.LittleEndian.Uint64(head[4:12]))
+	iters := int64(binary.LittleEndian.Uint64(head[12:20]))
+	damping := math.Float64frombits(binary.LittleEndian.Uint64(head[20:28]))
+	if n <= 0 || n > sparse.MaxDim || iters < 0 {
+		return nil, fmt.Errorf("implausible state header n=%d iters=%d", n, iters)
+	}
+	payload, err := read(int(n) * 8)
+	if err != nil {
+		return nil, err
+	}
+	rank := make([]float64, n)
+	for i := range rank {
+		rank[i] = math.Float64frombits(binary.LittleEndian.Uint64(payload[8*i:]))
+	}
+	want := crc.Sum32()
+	var tail [4]byte
+	if _, err := io.ReadFull(br, tail[:]); err != nil {
+		return nil, fmt.Errorf("reading checksum: %w", err)
+	}
+	if stored := binary.LittleEndian.Uint32(tail[:]); stored != want {
+		return nil, fmt.Errorf("checksum mismatch: stored %#x, computed %#x", stored, want)
+	}
+	return &Checkpoint{
+		Rank:                rank,
+		CompletedIterations: int(iters),
+		Damping:             damping,
+	}, nil
+}
+
+// Resume continues a checkpointed kernel-3 run until totalIterations
+// updates have been performed in all (across the original run and this
+// one).  The damping must match the checkpoint's.  The final result is
+// identical to an uninterrupted run of totalIterations.
+func Resume(cp *Checkpoint, totalIterations int, opt pagerank.Options) (*pagerank.Result, error) {
+	if totalIterations <= cp.CompletedIterations {
+		return &pagerank.Result{Rank: cp.Rank, Iterations: cp.CompletedIterations}, nil
+	}
+	effDamping := opt.Damping
+	if effDamping == 0 {
+		effDamping = pagerank.DefaultDamping
+	}
+	if cp.Damping != 0 && math.Abs(effDamping-cp.Damping) > 1e-15 {
+		return nil, fmt.Errorf("pipeline: resume damping %v != checkpoint damping %v", effDamping, cp.Damping)
+	}
+	opt.Damping = effDamping
+	opt.Iterations = totalIterations - cp.CompletedIterations
+	opt.InitialRank = cp.Rank
+	res, err := pagerank.Gather(cp.Matrix, opt)
+	if err != nil {
+		return nil, err
+	}
+	res.Iterations += cp.CompletedIterations
+	return res, nil
+}

@@ -1,0 +1,181 @@
+package pipeline
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/pagerank"
+	"repro/internal/sparse"
+	"repro/internal/vfs"
+	"repro/internal/xrand"
+)
+
+// k2Matrix builds a filtered matrix through the csr variant for the tests.
+func k2Matrix(t *testing.T, cfg Config) *sparse.CSR {
+	t.Helper()
+	cfg = cfg.withDefaults()
+	v, err := Lookup("csr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := &Run{Cfg: cfg, FS: cfg.FS}
+	for _, step := range []func(*Run) error{v.Kernel0, v.Kernel1, v.Kernel2} {
+		if err := step(run); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return run.Matrix
+}
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	a := k2Matrix(t, Config{Scale: 7, EdgeFactor: 8, Seed: 6})
+	partial, err := pagerank.Gather(a, pagerank.Options{Seed: 6, Iterations: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := vfs.NewMem()
+	cp := &Checkpoint{Matrix: a, Rank: partial.Rank, CompletedIterations: 8, Damping: 0.85}
+	if err := Save(fs, "ck/run1", cp); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(fs, "ck/run1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.CompletedIterations != 8 || loaded.Damping != 0.85 {
+		t.Errorf("metadata: %+v", loaded)
+	}
+	if loaded.Matrix.NNZ() != a.NNZ() {
+		t.Error("matrix changed")
+	}
+	for i := range partial.Rank {
+		if loaded.Rank[i] != partial.Rank[i] {
+			t.Fatal("rank vector changed")
+		}
+	}
+}
+
+func TestCheckpointResumeMatchesUninterrupted(t *testing.T) {
+	a := k2Matrix(t, Config{Scale: 7, EdgeFactor: 8, Seed: 9})
+	// Uninterrupted 20 iterations.
+	full, err := pagerank.Gather(a, pagerank.Options{Seed: 9, Iterations: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 8 iterations, checkpoint through storage, resume to 20.
+	partial, err := pagerank.Gather(a, pagerank.Options{Seed: 9, Iterations: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := vfs.NewMem()
+	if err := Save(fs, "ck", &Checkpoint{Matrix: a, Rank: partial.Rank, CompletedIterations: 8, Damping: 0.85}); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(fs, "ck")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resumed, err := Resume(loaded, 20, pagerank.Options{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resumed.Iterations != 20 {
+		t.Errorf("resumed total iterations %d", resumed.Iterations)
+	}
+	for i := range full.Rank {
+		if full.Rank[i] != resumed.Rank[i] {
+			t.Fatalf("resume diverges at %d: %v vs %v", i, resumed.Rank[i], full.Rank[i])
+		}
+	}
+}
+
+func TestCheckpointResumeAlreadyComplete(t *testing.T) {
+	a := k2Matrix(t, Config{Scale: 6, EdgeFactor: 4, Seed: 1})
+	r := pagerank.InitVector(a.N, 1)
+	cp := &Checkpoint{Matrix: a, Rank: r, CompletedIterations: 20, Damping: 0.85}
+	res, err := Resume(cp, 20, pagerank.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iterations != 20 || &res.Rank[0] != &r[0] {
+		t.Error("already-complete resume should return the checkpoint state")
+	}
+}
+
+func TestCheckpointResumeDampingMismatch(t *testing.T) {
+	a := k2Matrix(t, Config{Scale: 6, EdgeFactor: 4, Seed: 2})
+	cp := &Checkpoint{Matrix: a, Rank: pagerank.InitVector(a.N, 1), CompletedIterations: 5, Damping: 0.85}
+	if _, err := Resume(cp, 20, pagerank.Options{Damping: 0.9}); err == nil {
+		t.Error("damping mismatch accepted")
+	}
+}
+
+func TestCheckpointSaveRejectsMalformed(t *testing.T) {
+	fs := vfs.NewMem()
+	if err := Save(fs, "bad", &Checkpoint{}); err == nil {
+		t.Error("nil matrix accepted")
+	}
+	a := k2Matrix(t, Config{Scale: 6, EdgeFactor: 4, Seed: 3})
+	if err := Save(fs, "bad", &Checkpoint{Matrix: a, Rank: []float64{1}}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}
+
+func TestCheckpointLoadDetectsCorruption(t *testing.T) {
+	a := k2Matrix(t, Config{Scale: 6, EdgeFactor: 4, Seed: 4})
+	fs := vfs.NewMem()
+	cp := &Checkpoint{Matrix: a, Rank: pagerank.InitVector(a.N, 1), CompletedIterations: 3, Damping: 0.85}
+	if err := Save(fs, "c", cp); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the state file.
+	r, _ := fs.Open("c.state")
+	data := make([]byte, 0)
+	buf := make([]byte, 4096)
+	for {
+		n, err := r.Read(buf)
+		data = append(data, buf[:n]...)
+		if err != nil {
+			break
+		}
+	}
+	r.Close()
+	data[len(data)/2] ^= 0xFF
+	w, _ := fs.Create("c.state")
+	w.Write(data)
+	w.Close()
+	if _, err := Load(fs, "c"); err == nil {
+		t.Error("corrupted state accepted")
+	}
+	// Missing files.
+	if _, err := Load(fs, "absent"); err == nil {
+		t.Error("missing checkpoint accepted")
+	}
+}
+
+func TestCheckpointResumeFromRandomMidpoints(t *testing.T) {
+	// Property: for any split k, run(k) + resume(20-k) == run(20).
+	a := k2Matrix(t, Config{Scale: 6, EdgeFactor: 8, Seed: 12})
+	full, err := pagerank.Gather(a, pagerank.Options{Seed: 12, Iterations: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := xrand.New(5)
+	for trial := 0; trial < 5; trial++ {
+		k := 1 + g.Intn(19)
+		partial, err := pagerank.Gather(a, pagerank.Options{Seed: 12, Iterations: k})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cp := &Checkpoint{Matrix: a, Rank: partial.Rank, CompletedIterations: k, Damping: 0.85}
+		resumed, err := Resume(cp, 20, pagerank.Options{Seed: 12})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range full.Rank {
+			if math.Abs(full.Rank[i]-resumed.Rank[i]) > 1e-15 {
+				t.Fatalf("split at %d diverges at component %d", k, i)
+			}
+		}
+	}
+}

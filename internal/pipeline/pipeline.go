@@ -1,0 +1,365 @@
+// Package pipeline orchestrates the four kernels of the PageRank pipeline
+// benchmark: generate (K0), sort (K1), filter (K2) and PageRank (K3).
+//
+// Each kernel is a mathematically defined contract — files of tab-separated
+// edges between K0/K1/K2, a normalized sparse matrix between K2/K3 — and
+// "each kernel in the pipeline must be fully completed before the next
+// kernel can begin".  The package times every kernel and reports the
+// paper's metrics: edges/second with M edges for K0–K2 and 20·M edges for
+// K3.
+//
+// Multiple implementation variants register themselves in a registry; they
+// stand in for the paper's six language implementations (C++, Python,
+// Python/Pandas, Matlab, Octave, Julia), each exercising the same kernel
+// contracts through a different code path (see DESIGN.md §1).
+package pipeline
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/edge"
+	"repro/internal/gensuite"
+	"repro/internal/graphblas"
+	"repro/internal/kronecker"
+	"repro/internal/pagerank"
+	"repro/internal/sparse"
+	"repro/internal/vfs"
+)
+
+// Kernel identifies one pipeline stage.
+type Kernel int
+
+// The four kernels of the benchmark.
+const (
+	K0Generate Kernel = iota
+	K1Sort
+	K2Filter
+	K3PageRank
+	numKernels
+)
+
+// String implements fmt.Stringer.
+func (k Kernel) String() string {
+	switch k {
+	case K0Generate:
+		return "kernel0-generate"
+	case K1Sort:
+		return "kernel1-sort"
+	case K2Filter:
+		return "kernel2-filter"
+	case K3PageRank:
+		return "kernel3-pagerank"
+	default:
+		return fmt.Sprintf("kernel?(%d)", int(k))
+	}
+}
+
+// GeneratorKind selects the kernel-0 graph generator.
+type GeneratorKind string
+
+// Supported generators.
+const (
+	GenKronecker GeneratorKind = "kronecker" // Graph500 (the benchmark default)
+	GenPPL       GeneratorKind = "ppl"       // deterministic perfect power law
+	GenER        GeneratorKind = "er"        // Erdős–Rényi control
+)
+
+// Config parameterizes a benchmark run.
+type Config struct {
+	// Scale is the Graph500 scale factor S (N = 2^S vertices).
+	Scale int
+	// EdgeFactor is the average edges per vertex; zero selects 16.
+	EdgeFactor int
+	// Seed selects all random streams.
+	Seed uint64
+	// NFiles is the paper's free parameter, the number of edge files
+	// written by K0 and K1; zero selects 1.
+	NFiles int
+	// FS is the non-volatile storage the kernels write to; nil selects an
+	// in-memory store.
+	FS vfs.FS
+	// Variant names the implementation variant; empty selects "csr".
+	Variant string
+	// Generator selects the K0 generator; empty selects Kronecker.
+	Generator GeneratorKind
+	// Workers bounds goroutines in parallel variants; <= 0 means default.
+	Workers int
+	// RunEdges is the out-of-core variant's in-memory run size (edges).
+	RunEdges int
+	// SortEndVertices makes K1 sort by (u, v) instead of u only — the
+	// paper's "should the end vertices also be sorted?" open question.
+	SortEndVertices bool
+	// PageRank carries K3 options (damping, iterations, dangling).
+	PageRank pagerank.Options
+	// KeepRank retains the final rank vector in the Result.
+	KeepRank bool
+	// MeterIO wraps the storage in a byte-counting layer and records each
+	// kernel's read/write volume in its KernelResult.
+	MeterIO bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.EdgeFactor == 0 {
+		c.EdgeFactor = kronecker.DefaultEdgeFactor
+	}
+	if c.NFiles == 0 {
+		c.NFiles = 1
+	}
+	if c.FS == nil {
+		c.FS = vfs.NewMem()
+	}
+	if c.Variant == "" {
+		c.Variant = "csr"
+	}
+	if c.Generator == "" {
+		c.Generator = GenKronecker
+	}
+	return c
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	cc := c.withDefaults()
+	if cc.Scale < 1 || cc.Scale > kronecker.MaxScale {
+		return fmt.Errorf("pipeline: scale %d out of range [1, %d]", cc.Scale, kronecker.MaxScale)
+	}
+	if cc.NFiles < 1 {
+		return fmt.Errorf("pipeline: NFiles %d, want >= 1", cc.NFiles)
+	}
+	if _, ok := registry[cc.Variant]; !ok {
+		return fmt.Errorf("pipeline: unknown variant %q (have %v)", cc.Variant, VariantNames())
+	}
+	switch cc.Generator {
+	case GenKronecker, GenPPL, GenER:
+	default:
+		return fmt.Errorf("pipeline: unknown generator %q", cc.Generator)
+	}
+	return cc.PageRank.Validate()
+}
+
+// N returns the vertex count 2^Scale.
+func (c Config) N() uint64 { return 1 << uint(c.Scale) }
+
+// M returns the edge count EdgeFactor·2^Scale.
+func (c Config) M() uint64 { return uint64(c.withDefaults().EdgeFactor) << uint(c.Scale) }
+
+// KernelResult is the timing record for one kernel.
+type KernelResult struct {
+	// Kernel identifies the stage.
+	Kernel Kernel
+	// Seconds is the wall-clock duration of the stage.
+	Seconds float64
+	// Edges is the edge count the rate is defined over (M, or 20·M for K3).
+	Edges uint64
+	// EdgesPerSecond is Edges / Seconds, the paper's reported metric.
+	EdgesPerSecond float64
+	// IO holds the kernel's storage traffic when Config.MeterIO is set.
+	IO *vfs.IOStats
+}
+
+// Result is the outcome of a pipeline run.
+type Result struct {
+	// Config echoes the (defaulted) configuration that ran.
+	Config Config
+	// Kernels holds one entry per executed kernel, in order.
+	Kernels []KernelResult
+	// NNZ is the filtered matrix's stored-entry count after K2.
+	NNZ int
+	// MatrixMass is sum(A) after construction, before filtering (== M).
+	MatrixMass float64
+	// Rank is the final rank vector (only when Config.KeepRank).
+	Rank []float64
+	// RankIterations is the number of PageRank iterations performed.
+	RankIterations int
+}
+
+// KernelResultFor returns the result for kernel k, or nil.
+func (r *Result) KernelResultFor(k Kernel) *KernelResult {
+	for i := range r.Kernels {
+		if r.Kernels[i].Kernel == k {
+			return &r.Kernels[i]
+		}
+	}
+	return nil
+}
+
+// Run carries the mutable state a variant threads through the kernels.
+type Run struct {
+	// Cfg is the defaulted configuration.
+	Cfg Config
+	// FS is the storage kernels read and write.
+	FS vfs.FS
+	// Matrix receives the filtered, normalized adjacency matrix at the
+	// end of K2 (all variants converge to CSR for cross-validation; the
+	// graphblas variant also keeps its generic form internally).
+	Matrix *sparse.CSR
+	// GB optionally holds the graphblas variant's generic matrix between
+	// K2 and K3.
+	GB *graphblas.Matrix[float64]
+	// Rank receives the K3 result.
+	Rank *pagerank.Result
+	// MatrixMass is sum(A) recorded during K2 before filtering.
+	MatrixMass float64
+}
+
+// Variant implements the four kernels.  Kernels communicate only through
+// r.FS (K0→K1→K2) and r.Matrix (K2→K3), so kernels of different variants
+// compose — the pipeline runner exploits this in mix-and-match ablations.
+type Variant interface {
+	// Name is the registry key.
+	Name() string
+	// Description is a one-line summary for reports.
+	Description() string
+	// Kernel0 generates the graph and writes edge files under prefix "k0".
+	Kernel0(r *Run) error
+	// Kernel1 reads "k0" files, sorts by start vertex, writes "k1" files.
+	Kernel1(r *Run) error
+	// Kernel2 reads "k1" files and produces the filtered normalized matrix.
+	Kernel2(r *Run) error
+	// Kernel3 runs PageRank on r.Matrix, filling r.Rank.
+	Kernel3(r *Run) error
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+
+var registry = map[string]Variant{}
+
+// Register adds a variant; it panics on duplicates (registration happens in
+// package init functions).
+func Register(v Variant) {
+	if _, dup := registry[v.Name()]; dup {
+		panic(fmt.Sprintf("pipeline: duplicate variant %q", v.Name()))
+	}
+	registry[v.Name()] = v
+}
+
+// Lookup returns the named variant.
+func Lookup(name string) (Variant, error) {
+	v, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("pipeline: unknown variant %q (have %v)", name, VariantNames())
+	}
+	return v, nil
+}
+
+// VariantNames returns all registered variant names, sorted.
+func VariantNames() []string {
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ---------------------------------------------------------------------------
+// Execution
+
+// Execute runs the full four-kernel pipeline under cfg and returns timing
+// results for every kernel.
+func Execute(cfg Config) (*Result, error) {
+	return ExecuteKernels(cfg, []Kernel{K0Generate, K1Sort, K2Filter, K3PageRank})
+}
+
+// ExecuteKernels runs the listed kernels in order.  Kernels may be run
+// independently as the paper allows, but each depends on its predecessor's
+// artifacts: running K2 without K1 in the same FS fails with a missing-file
+// error.
+func ExecuteKernels(cfg Config, kernels []Kernel) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	v := registry[cfg.Variant]
+	var meter *vfs.Metered
+	if cfg.MeterIO {
+		meter = vfs.NewMetered(cfg.FS)
+		cfg.FS = meter
+	}
+	run := &Run{Cfg: cfg, FS: cfg.FS}
+	res := &Result{Config: cfg}
+	m := cfg.M()
+	for _, k := range kernels {
+		var fn func(*Run) error
+		edges := m
+		switch k {
+		case K0Generate:
+			fn = v.Kernel0
+		case K1Sort:
+			fn = v.Kernel1
+		case K2Filter:
+			fn = v.Kernel2
+		case K3PageRank:
+			fn = v.Kernel3
+			iters := cfg.PageRank.Iterations
+			if iters == 0 {
+				iters = pagerank.DefaultIterations
+			}
+			edges = m * uint64(iters)
+		default:
+			return nil, fmt.Errorf("pipeline: unknown kernel %v", k)
+		}
+		start := time.Now()
+		if err := fn(run); err != nil {
+			return nil, fmt.Errorf("pipeline: %v (%s): %w", k, cfg.Variant, err)
+		}
+		secs := time.Since(start).Seconds()
+		kr := KernelResult{Kernel: k, Seconds: secs, Edges: edges}
+		if secs > 0 {
+			kr.EdgesPerSecond = float64(edges) / secs
+		}
+		if meter != nil {
+			io := meter.Reset()
+			kr.IO = &io
+		}
+		res.Kernels = append(res.Kernels, kr)
+	}
+	if run.Matrix != nil {
+		res.NNZ = run.Matrix.NNZ()
+		res.MatrixMass = run.MatrixMass
+	}
+	if run.Rank != nil {
+		res.RankIterations = run.Rank.Iterations
+		if cfg.KeepRank {
+			res.Rank = run.Rank.Rank
+		}
+	}
+	return res, nil
+}
+
+// generate dispatches to the configured K0 generator, shared by variants.
+func generate(cfg Config) (gen gensuite.Generator, err error) {
+	switch cfg.Generator {
+	case GenKronecker:
+		return kroneckerGen{cfg: kronecker.New(cfg.Scale, cfg.Seed).Defaults(), ef: cfg.EdgeFactor}, nil
+	case GenPPL:
+		return gensuite.PPL{Scale: cfg.Scale, EdgeFactor: cfg.EdgeFactor, Seed: cfg.Seed}, nil
+	case GenER:
+		return gensuite.ER{Scale: cfg.Scale, EdgeFactor: cfg.EdgeFactor, Seed: cfg.Seed}, nil
+	default:
+		return nil, fmt.Errorf("pipeline: unknown generator %q", cfg.Generator)
+	}
+}
+
+// kroneckerGen adapts the kronecker package to the gensuite.Generator
+// interface.
+type kroneckerGen struct {
+	cfg kronecker.Config
+	ef  int
+}
+
+func (g kroneckerGen) Name() string        { return "kronecker" }
+func (g kroneckerGen) NumVertices() uint64 { return g.cfg.N() }
+func (g kroneckerGen) NumEdges() uint64 {
+	c := g.cfg
+	c.EdgeFactor = g.ef
+	return c.Defaults().M()
+}
+func (g kroneckerGen) Generate() (*edge.List, error) {
+	c := g.cfg
+	c.EdgeFactor = g.ef
+	return kronecker.Generate(c.Defaults())
+}

@@ -1,0 +1,205 @@
+package pipeline
+
+// The paper's §V asks: "What outputs should be recorded to validate
+// correctness?"  This file is the repository's answer: a validation suite
+// that replays the pipeline while checking every invariant the paper
+// states or implies, producing a machine-readable report.
+//
+//	V1  kernel-0 files contain exactly M well-formed edges within [0, N)
+//	V2  kernel-1 output is sorted by start vertex and is a permutation of
+//	    kernel 0's edge multiset
+//	V3  the kernel-2 counting matrix has mass M ("all the entries in A
+//	    should sum to M") and fewer than M stored entries (collisions)
+//	V4  after filtering, no column has in-degree equal to the old maximum
+//	    or exactly 1, and every non-empty row sums to 1
+//	V5  the kernel-3 rank vector is finite, non-negative and matches the
+//	    variant-independent reference (csr) bitwise up to 1e-9
+//	V6  (small N only) the normalized rank vector matches the dominant
+//	    eigenvector of c·Aᵀ + (1-c)/N, the paper's §IV.D check
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/fastio"
+	"repro/internal/pagerank"
+	"repro/internal/sparse"
+)
+
+// Check is one validation outcome.
+type Check struct {
+	// ID is the check identifier (V1..V6).
+	ID string
+	// Name describes the invariant.
+	Name string
+	// Passed reports the outcome.
+	Passed bool
+	// Detail carries the measured quantity or failure description.
+	Detail string
+}
+
+// Validation is the full report.
+type Validation struct {
+	// Checks lists every executed check in order.
+	Checks []Check
+	// Passed is true when every check passed.
+	Passed bool
+}
+
+func (v *Validation) add(id, name string, passed bool, detail string) {
+	v.Checks = append(v.Checks, Check{ID: id, Name: name, Passed: passed, Detail: detail})
+}
+
+// eigenCheckMaxN bounds the dense eigenvector check.
+const eigenCheckMaxN = 2048
+
+// Validate runs the full pipeline under cfg and audits every recorded
+// output.  It is deliberately slower than a benchmark run: it reads the
+// intermediate files back and rebuilds reference results.
+func Validate(cfg Config) (*Validation, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	v := registry[cfg.Variant]
+	run := &Run{Cfg: cfg, FS: cfg.FS}
+	rep := &Validation{}
+
+	// Run kernel 0 and audit the files.
+	if err := v.Kernel0(run); err != nil {
+		return nil, fmt.Errorf("validate: kernel 0: %w", err)
+	}
+	codec := variantCodec(cfg.Variant)
+	k0, err := fastio.ReadStriped(cfg.FS, "k0", codec)
+	if err != nil {
+		return nil, fmt.Errorf("validate: reading k0 files: %w", err)
+	}
+	m := cfg.M()
+	n := cfg.N()
+	inRange := true
+	for i := 0; i < k0.Len(); i++ {
+		if k0.U[i] >= n || k0.V[i] >= n {
+			inRange = false
+			break
+		}
+	}
+	rep.add("V1", "kernel-0 files hold exactly M in-range edges",
+		uint64(k0.Len()) == m && inRange,
+		fmt.Sprintf("edges=%d M=%d inRange=%v", k0.Len(), m, inRange))
+
+	// Kernel 1 and its postconditions.
+	if err := v.Kernel1(run); err != nil {
+		return nil, fmt.Errorf("validate: kernel 1: %w", err)
+	}
+	k1, err := fastio.ReadStriped(cfg.FS, "k1", codec)
+	if err != nil {
+		return nil, fmt.Errorf("validate: reading k1 files: %w", err)
+	}
+	rep.add("V2", "kernel-1 output sorted by start vertex and multiset-equal to kernel 0",
+		k1.IsSortedByU() && k1.SameMultiset(k0),
+		fmt.Sprintf("sorted=%v multisetEqual=%v", k1.IsSortedByU(), k1.SameMultiset(k0)))
+
+	// Kernel 2: rebuild the unfiltered matrix independently for the mass
+	// check, then run the variant's kernel 2.
+	ref, err := sparse.FromEdges(k1, int(n))
+	if err != nil {
+		return nil, fmt.Errorf("validate: reference build: %w", err)
+	}
+	massOK := ref.SumValues() == float64(m)
+	collisionsOK := ref.NNZ() < int(m)
+	dinBefore := ref.InDegrees()
+	maxDin := sparse.MaxValue(dinBefore)
+	rep.add("V3", "counting matrix mass equals M with fewer than M stored entries",
+		massOK && collisionsOK,
+		fmt.Sprintf("mass=%.0f nnz=%d M=%d", ref.SumValues(), ref.NNZ(), m))
+
+	if err := v.Kernel2(run); err != nil {
+		return nil, fmt.Errorf("validate: kernel 2: %w", err)
+	}
+	a := run.Matrix
+	dinAfter := a.InDegrees()
+	filterOK := true
+	detail := ""
+	for j := range dinAfter {
+		// After filtering, formerly max-in-degree and in-degree-1 columns
+		// must be empty.
+		if (dinBefore[j] == maxDin || dinBefore[j] == 1) && dinAfter[j] != 0 {
+			filterOK = false
+			detail = fmt.Sprintf("column %d survived (din before %.0f)", j, dinBefore[j])
+			break
+		}
+	}
+	rowsOK := true
+	for i, d := range a.OutDegrees() {
+		if d != 0 && math.Abs(d-1) > 1e-9 {
+			rowsOK = false
+			detail = fmt.Sprintf("row %d sums to %v", i, d)
+			break
+		}
+	}
+	if detail == "" {
+		detail = fmt.Sprintf("nnz=%d maxDinBefore=%.0f", a.NNZ(), maxDin)
+	}
+	rep.add("V4", "filtered columns eliminated and non-empty rows normalized to 1",
+		filterOK && rowsOK, detail)
+
+	// Kernel 3 against the reference engine.
+	if err := v.Kernel3(run); err != nil {
+		return nil, fmt.Errorf("validate: kernel 3: %w", err)
+	}
+	rank := run.Rank.Rank
+	finite := true
+	for _, x := range rank {
+		if x < 0 || math.IsNaN(x) || math.IsInf(x, 0) {
+			finite = false
+			break
+		}
+	}
+	refRank, err := pagerank.Scatter(a, cfg.PageRank)
+	if err != nil {
+		return nil, fmt.Errorf("validate: reference pagerank: %w", err)
+	}
+	var maxDev float64
+	for i := range rank {
+		if d := math.Abs(rank[i] - refRank.Rank[i]); d > maxDev {
+			maxDev = d
+		}
+	}
+	rep.add("V5", "rank vector finite, non-negative, and engine-independent",
+		finite && maxDev < 1e-9,
+		fmt.Sprintf("finite=%v maxEngineDeviation=%.2g", finite, maxDev))
+
+	// Dense eigenvector check at small N (paper §IV.D).
+	if n <= eigenCheckMaxN {
+		long, err := pagerank.Scatter(a, pagerank.Options{
+			Seed: cfg.PageRank.Seed, Damping: cfg.PageRank.Damping, Iterations: 300,
+		})
+		if err != nil {
+			return nil, err
+		}
+		diff, err := pagerank.CompareWithEigen(long.Rank, a, pagerank.EigenOptions{Damping: cfg.PageRank.Damping})
+		if err != nil {
+			return nil, err
+		}
+		rep.add("V6", "normalized rank matches the dominant eigenvector of c·Aᵀ+(1-c)/N",
+			diff < 1e-8, fmt.Sprintf("maxComponentDiff=%.2g", diff))
+	}
+
+	rep.Passed = true
+	for _, c := range rep.Checks {
+		if !c.Passed {
+			rep.Passed = false
+			break
+		}
+	}
+	return rep, nil
+}
+
+// variantCodec returns the file codec a variant writes, needed to read its
+// artifacts back during validation.
+func variantCodec(variant string) fastio.Codec {
+	if variant == "coo" {
+		return fastio.NaiveTSV{}
+	}
+	return fastio.TSV{}
+}

@@ -1,0 +1,116 @@
+package sparse
+
+import (
+	"testing"
+
+	"repro/internal/edge"
+)
+
+func TestSortedBuilderMatchesFromEdges(t *testing.T) {
+	l := randomList(11, 4000, 100)
+	sortByU(l)
+	want, err := FromSortedEdges(l, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewSortedBuilder(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < l.Len(); i++ {
+		if err := b.Add(l.U[i], l.V[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := b.Finish()
+	if err := got.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	assertSameMatrix(t, want, got)
+}
+
+func TestSortedBuilderRejectsUnsorted(t *testing.T) {
+	b, _ := NewSortedBuilder(10)
+	b.Add(5, 0)
+	if err := b.Add(3, 0); err == nil {
+		t.Error("descending start vertex accepted")
+	}
+}
+
+func TestSortedBuilderRejectsOutOfRange(t *testing.T) {
+	b, _ := NewSortedBuilder(4)
+	if err := b.Add(9, 0); err == nil {
+		t.Error("out-of-range u accepted")
+	}
+	if err := b.Add(0, 9); err == nil {
+		t.Error("out-of-range v accepted")
+	}
+}
+
+func TestSortedBuilderEmpty(t *testing.T) {
+	b, _ := NewSortedBuilder(3)
+	a := b.Finish()
+	if a.NNZ() != 0 {
+		t.Errorf("empty builder NNZ = %d", a.NNZ())
+	}
+	if err := a.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSortedBuilderDuplicateAccumulation(t *testing.T) {
+	b, _ := NewSortedBuilder(4)
+	for i := 0; i < 5; i++ {
+		b.Add(2, 3)
+	}
+	b.Add(3, 0)
+	a := b.Finish()
+	if got := a.At(2, 3); got != 5 {
+		t.Errorf("A(2,3) = %v, want 5", got)
+	}
+	if a.NNZ() != 2 {
+		t.Errorf("NNZ = %d, want 2", a.NNZ())
+	}
+}
+
+func TestSortedBuilderInvalidDim(t *testing.T) {
+	if _, err := NewSortedBuilder(0); err == nil {
+		t.Error("dimension 0 accepted")
+	}
+}
+
+func TestSortedBuilderSparseRows(t *testing.T) {
+	// Rows 0 and 9 only; everything between must be empty with valid ptrs.
+	b, _ := NewSortedBuilder(10)
+	b.Add(0, 1)
+	b.Add(9, 8)
+	a := b.Finish()
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if a.At(0, 1) != 1 || a.At(9, 8) != 1 {
+		t.Error("entries misplaced")
+	}
+	for i := 1; i < 9; i++ {
+		if a.RowPtr[i+1]-a.RowPtr[i] != 0 {
+			t.Fatalf("row %d should be empty", i)
+		}
+	}
+}
+
+func TestSortedBuilderFromEdgeList(t *testing.T) {
+	l := edge.NewList(3)
+	l.Append(1, 1)
+	l.Append(1, 1)
+	l.Append(2, 0)
+	b, _ := NewSortedBuilder(3)
+	for i := 0; i < l.Len(); i++ {
+		if err := b.Add(l.U[i], l.V[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	a := b.Finish()
+	if a.SumValues() != 3 {
+		t.Errorf("mass = %v, want 3", a.SumValues())
+	}
+}

@@ -1,0 +1,190 @@
+package sparse
+
+// Binary serialization of CSR matrices.  The pipeline's checkpoint/restart
+// support (one of the paper's Figure 2 "Admin" operations: create, stop,
+// checkpoint, restart) persists kernel 2's output through this format so a
+// kernel-3 run can be stopped and resumed without repeating kernels 0-2.
+//
+// Layout (little endian):
+//
+//	magic   [4]byte  "CSR1"
+//	n       int64    dimension
+//	nnz     int64    stored entries
+//	rowPtr  (n+1) × int64
+//	col     nnz × uint32
+//	val     nnz × float64 (IEEE-754 bits)
+//	crc     uint32   IEEE CRC-32 of everything above
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+)
+
+var csrMagic = [4]byte{'C', 'S', 'R', '1'}
+
+// maxSerializedNNZ bounds deserialization allocations.
+const maxSerializedNNZ = 1 << 31
+
+// WriteTo serializes the matrix to w in the binary CSR format, returning
+// the number of bytes written.  The trailing CRC-32 covers every byte
+// before it.
+func (a *CSR) WriteTo(w io.Writer) (int64, error) {
+	crc := crc32.NewIEEE()
+	bw := bufio.NewWriterSize(io.MultiWriter(w, crc), 256<<10)
+	var written int64
+	put := func(data any) error {
+		if err := binary.Write(bw, binary.LittleEndian, data); err != nil {
+			return err
+		}
+		written += int64(binary.Size(data))
+		return nil
+	}
+	vals := make([]uint64, len(a.Val))
+	for i, v := range a.Val {
+		vals[i] = math.Float64bits(v)
+	}
+	for _, part := range []any{csrMagic, int64(a.N), int64(a.NNZ()), a.RowPtr, a.Col, vals} {
+		if err := put(part); err != nil {
+			return written, err
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return written, err
+	}
+	// The checksum itself bypasses the hashing path.
+	if err := binary.Write(w, binary.LittleEndian, crc.Sum32()); err != nil {
+		return written, err
+	}
+	return written + 4, nil
+}
+
+// hashedReader reads exact-sized payloads from an io.Reader while
+// maintaining a running CRC over exactly the bytes returned — no
+// read-ahead ever contaminates the hash.
+type hashedReader struct {
+	r   *bufio.Reader
+	crc uint32
+	buf []byte
+}
+
+func newHashedReader(r io.Reader) *hashedReader {
+	return &hashedReader{r: bufio.NewReaderSize(r, 256<<10)}
+}
+
+// next returns an internal buffer filled with exactly n payload bytes.
+// The buffer is valid until the following call.
+func (h *hashedReader) next(n int) ([]byte, error) {
+	if cap(h.buf) < n {
+		h.buf = make([]byte, n)
+	}
+	buf := h.buf[:n]
+	if _, err := io.ReadFull(h.r, buf); err != nil {
+		return nil, err
+	}
+	h.crc = crc32.Update(h.crc, crc32.IEEETable, buf)
+	return buf, nil
+}
+
+// ReadCSR deserializes a matrix written by WriteTo, verifying the
+// checksum and structural invariants.
+func ReadCSR(r io.Reader) (*CSR, error) {
+	h := newHashedReader(r)
+	head, err := h.next(4 + 8 + 8)
+	if err != nil {
+		return nil, fmt.Errorf("sparse: reading header: %w", err)
+	}
+	if [4]byte(head[:4]) != csrMagic {
+		return nil, fmt.Errorf("sparse: bad magic %q", head[:4])
+	}
+	n := int64(binary.LittleEndian.Uint64(head[4:12]))
+	nnz := int64(binary.LittleEndian.Uint64(head[12:20]))
+	if n <= 0 || n > MaxDim || nnz < 0 || nnz > maxSerializedNNZ {
+		return nil, fmt.Errorf("sparse: implausible header n=%d nnz=%d", n, nnz)
+	}
+	a := &CSR{
+		N:      int(n),
+		RowPtr: make([]int64, n+1),
+		Col:    make([]uint32, nnz),
+		Val:    make([]float64, nnz),
+	}
+	// Decode the three arrays in bounded chunks.
+	if err := readInt64s(h, a.RowPtr); err != nil {
+		return nil, fmt.Errorf("sparse: reading row pointers: %w", err)
+	}
+	if err := readUint32s(h, a.Col); err != nil {
+		return nil, fmt.Errorf("sparse: reading columns: %w", err)
+	}
+	if err := readFloat64s(h, a.Val); err != nil {
+		return nil, fmt.Errorf("sparse: reading values: %w", err)
+	}
+	want := h.crc
+	var tail [4]byte
+	if _, err := io.ReadFull(h.r, tail[:]); err != nil {
+		return nil, fmt.Errorf("sparse: reading checksum: %w", err)
+	}
+	if stored := binary.LittleEndian.Uint32(tail[:]); stored != want {
+		return nil, fmt.Errorf("sparse: checksum mismatch: stored %#x, computed %#x", stored, want)
+	}
+	if err := a.Validate(); err != nil {
+		return nil, fmt.Errorf("sparse: deserialized matrix invalid: %w", err)
+	}
+	return a, nil
+}
+
+// chunkElems bounds the per-read staging buffer (1 MiB of elements).
+const chunkElems = 128 << 10
+
+func readInt64s(h *hashedReader, dst []int64) error {
+	for off := 0; off < len(dst); off += chunkElems {
+		end := off + chunkElems
+		if end > len(dst) {
+			end = len(dst)
+		}
+		buf, err := h.next(8 * (end - off))
+		if err != nil {
+			return err
+		}
+		for i := off; i < end; i++ {
+			dst[i] = int64(binary.LittleEndian.Uint64(buf[8*(i-off):]))
+		}
+	}
+	return nil
+}
+
+func readUint32s(h *hashedReader, dst []uint32) error {
+	for off := 0; off < len(dst); off += chunkElems {
+		end := off + chunkElems
+		if end > len(dst) {
+			end = len(dst)
+		}
+		buf, err := h.next(4 * (end - off))
+		if err != nil {
+			return err
+		}
+		for i := off; i < end; i++ {
+			dst[i] = binary.LittleEndian.Uint32(buf[4*(i-off):])
+		}
+	}
+	return nil
+}
+
+func readFloat64s(h *hashedReader, dst []float64) error {
+	for off := 0; off < len(dst); off += chunkElems {
+		end := off + chunkElems
+		if end > len(dst) {
+			end = len(dst)
+		}
+		buf, err := h.next(8 * (end - off))
+		if err != nil {
+			return err
+		}
+		for i := off; i < end; i++ {
+			dst[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[8*(i-off):]))
+		}
+	}
+	return nil
+}

@@ -1,0 +1,131 @@
+package sparse
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestSerialRoundTrip(t *testing.T) {
+	l := randomList(41, 5000, 300)
+	a, err := FromEdges(l, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	n, err := a.WriteTo(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int(n) != buf.Len() {
+		t.Errorf("WriteTo reported %d bytes, buffer has %d", n, buf.Len())
+	}
+	b, err := ReadCSR(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameMatrix(t, a, b)
+}
+
+func TestSerialRoundTripEmpty(t *testing.T) {
+	a, _ := FromTriplets(5, nil, nil, nil)
+	var buf bytes.Buffer
+	if _, err := a.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	b, err := ReadCSR(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.N != 5 || b.NNZ() != 0 {
+		t.Errorf("empty round trip: N=%d NNZ=%d", b.N, b.NNZ())
+	}
+}
+
+func TestSerialRoundTripNormalizedValues(t *testing.T) {
+	// Fractional values (post-normalization) must survive bit exactly.
+	l := randomList(42, 2000, 100)
+	a, _ := FromEdges(l, 100)
+	a.ScaleRows(a.OutDegrees())
+	var buf bytes.Buffer
+	a.WriteTo(&buf)
+	b, err := ReadCSR(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := range a.Val {
+		if a.Val[k] != b.Val[k] {
+			t.Fatalf("value %d changed: %v -> %v", k, a.Val[k], b.Val[k])
+		}
+	}
+}
+
+func TestSerialDetectsCorruption(t *testing.T) {
+	l := randomList(43, 1000, 50)
+	a, _ := FromEdges(l, 50)
+	var buf bytes.Buffer
+	a.WriteTo(&buf)
+	data := buf.Bytes()
+	// Flip one payload byte in the middle.
+	data[len(data)/2] ^= 0x40
+	if _, err := ReadCSR(bytes.NewReader(data)); err == nil {
+		t.Error("corrupted payload accepted")
+	} else if !strings.Contains(err.Error(), "checksum") && !strings.Contains(err.Error(), "invalid") {
+		t.Logf("corruption surfaced as: %v (acceptable)", err)
+	}
+}
+
+func TestSerialDetectsTruncation(t *testing.T) {
+	l := randomList(44, 1000, 50)
+	a, _ := FromEdges(l, 50)
+	var buf bytes.Buffer
+	a.WriteTo(&buf)
+	data := buf.Bytes()
+	for _, cut := range []int{3, 10, len(data) / 2, len(data) - 2} {
+		if _, err := ReadCSR(bytes.NewReader(data[:cut])); err == nil {
+			t.Errorf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+func TestSerialRejectsGarbage(t *testing.T) {
+	if _, err := ReadCSR(strings.NewReader("not a matrix at all")); err == nil {
+		t.Error("garbage magic accepted")
+	}
+	// Correct magic, hostile header.
+	var buf bytes.Buffer
+	buf.Write(csrMagic[:])
+	buf.Write(make([]byte, 16)) // n = 0
+	if _, err := ReadCSR(&buf); err == nil {
+		t.Error("n=0 header accepted")
+	}
+}
+
+func TestSerialLargeChunkedArrays(t *testing.T) {
+	// Exceed chunkElems to exercise the chunked decode path.
+	n := chunkElems + 1000
+	a := &CSR{N: n, RowPtr: make([]int64, n+1), Col: make([]uint32, n), Val: make([]float64, n)}
+	for i := 0; i < n; i++ {
+		a.RowPtr[i+1] = int64(i + 1)
+		a.Col[i] = uint32(i % n)
+		a.Val[i] = float64(i)
+	}
+	// Fix columns to be strictly increasing within each single-entry row.
+	for i := 0; i < n; i++ {
+		a.Col[i] = uint32(i)
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := a.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	b, err := ReadCSR(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.NNZ() != n || b.Val[n-1] != float64(n-1) {
+		t.Error("chunked round trip corrupted data")
+	}
+}

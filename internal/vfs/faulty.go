@@ -1,0 +1,97 @@
+package vfs
+
+import (
+	"fmt"
+	"io"
+	"sync/atomic"
+)
+
+// Faulty wraps an FS and injects an I/O error after a byte budget is
+// exhausted — a disk-full or network-filesystem failure model.  The
+// pipeline's error-path tests use it to verify that every kernel surfaces
+// storage failures instead of corrupting results.
+type Faulty struct {
+	inner FS
+	// remaining is the byte budget across reads and writes combined.
+	remaining atomic.Int64
+}
+
+// ErrInjected is the failure Faulty returns once its budget is exhausted.
+var ErrInjected = fmt.Errorf("vfs: injected storage failure")
+
+// NewFaulty returns an FS that fails all I/O after budget total bytes.
+func NewFaulty(inner FS, budget int64) *Faulty {
+	f := &Faulty{inner: inner}
+	f.remaining.Store(budget)
+	return f
+}
+
+// consume charges n bytes against the budget, reporting whether the
+// operation may proceed.
+func (f *Faulty) consume(n int) bool {
+	return f.remaining.Add(-int64(n)) >= 0
+}
+
+// Create implements FS.
+func (f *Faulty) Create(name string) (io.WriteCloser, error) {
+	if f.remaining.Load() < 0 {
+		return nil, ErrInjected
+	}
+	w, err := f.inner.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	return &faultyWriter{w: w, f: f}, nil
+}
+
+// Open implements FS.
+func (f *Faulty) Open(name string) (io.ReadCloser, error) {
+	if f.remaining.Load() < 0 {
+		return nil, ErrInjected
+	}
+	r, err := f.inner.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	return &faultyReader{r: r, f: f}, nil
+}
+
+// Remove implements FS.
+func (f *Faulty) Remove(name string) error { return f.inner.Remove(name) }
+
+// List implements FS.
+func (f *Faulty) List() ([]string, error) { return f.inner.List() }
+
+// Size implements FS.
+func (f *Faulty) Size(name string) (int64, error) { return f.inner.Size(name) }
+
+type faultyWriter struct {
+	w io.WriteCloser
+	f *Faulty
+}
+
+func (w *faultyWriter) Write(p []byte) (int, error) {
+	if !w.f.consume(len(p)) {
+		return 0, ErrInjected
+	}
+	return w.w.Write(p)
+}
+
+func (w *faultyWriter) Close() error { return w.w.Close() }
+
+type faultyReader struct {
+	r io.ReadCloser
+	f *Faulty
+}
+
+func (r *faultyReader) Read(p []byte) (int, error) {
+	n, err := r.r.Read(p)
+	if n > 0 && !r.f.consume(n) {
+		return 0, ErrInjected
+	}
+	return n, err
+}
+
+func (r *faultyReader) Close() error { return r.r.Close() }
+
+var _ FS = (*Faulty)(nil)

@@ -1,0 +1,74 @@
+package vfs
+
+import (
+	"errors"
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestFaultyFailsAfterBudget(t *testing.T) {
+	f := NewFaulty(NewMem(), 10)
+	w, err := f.Create("x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := io.WriteString(w, "12345"); err != nil {
+		t.Fatalf("within budget: %v", err)
+	}
+	if _, err := io.WriteString(w, "1234567890"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("over budget err = %v", err)
+	}
+}
+
+func TestFaultyReadBudget(t *testing.T) {
+	mem := NewMem()
+	w, _ := mem.Create("big")
+	io.WriteString(w, strings.Repeat("x", 1000))
+	w.Close()
+	f := NewFaulty(mem, 100)
+	r, err := f.Open("big")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = io.ReadAll(r)
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("read err = %v, want injected failure", err)
+	}
+}
+
+func TestFaultyRefusesNewFilesAfterExhaustion(t *testing.T) {
+	f := NewFaulty(NewMem(), 1)
+	w, _ := f.Create("a")
+	w.Write([]byte("toomany"))
+	if _, err := f.Create("b"); !errors.Is(err, ErrInjected) {
+		t.Errorf("Create after exhaustion err = %v", err)
+	}
+	if _, err := f.Open("a"); !errors.Is(err, ErrInjected) {
+		t.Errorf("Open after exhaustion err = %v", err)
+	}
+}
+
+func TestFaultyGenerousBudgetTransparent(t *testing.T) {
+	f := NewFaulty(NewMem(), 1<<30)
+	w, _ := f.Create("ok")
+	io.WriteString(w, "hello")
+	w.Close()
+	r, err := f.Open("ok")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := io.ReadAll(r)
+	if err != nil || string(b) != "hello" {
+		t.Errorf("transparent path: %q %v", b, err)
+	}
+	if _, err := f.Size("ok"); err != nil {
+		t.Error(err)
+	}
+	if names, _ := f.List(); len(names) != 1 {
+		t.Error("List broken")
+	}
+	if err := f.Remove("ok"); err != nil {
+		t.Error(err)
+	}
+}

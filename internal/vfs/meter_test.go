@@ -1,0 +1,75 @@
+package vfs
+
+import (
+	"io"
+	"testing"
+)
+
+func TestMeteredCountsBytes(t *testing.T) {
+	m := NewMetered(NewMem())
+	w, err := m.Create("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.WriteString(w, "hello world")
+	w.Close()
+	r, err := m.Open("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.ReadAll(r)
+	r.Close()
+	s := m.Stats()
+	if s.BytesWritten != 11 {
+		t.Errorf("BytesWritten = %d", s.BytesWritten)
+	}
+	if s.BytesRead != 11 {
+		t.Errorf("BytesRead = %d", s.BytesRead)
+	}
+	if s.Creates != 1 || s.Opens != 1 {
+		t.Errorf("ops = %+v", s)
+	}
+}
+
+func TestMeteredReset(t *testing.T) {
+	m := NewMetered(NewMem())
+	w, _ := m.Create("f")
+	io.WriteString(w, "abc")
+	w.Close()
+	prev := m.Reset()
+	if prev.BytesWritten != 3 {
+		t.Errorf("Reset snapshot = %+v", prev)
+	}
+	if s := m.Stats(); s.BytesWritten != 0 || s.Creates != 0 {
+		t.Errorf("counters not cleared: %+v", s)
+	}
+}
+
+func TestMeteredDelegates(t *testing.T) {
+	m := NewMetered(NewMem())
+	w, _ := m.Create("a")
+	w.Close()
+	names, err := m.List()
+	if err != nil || len(names) != 1 {
+		t.Errorf("List via meter: %v %v", names, err)
+	}
+	if n, err := m.Size("a"); err != nil || n != 0 {
+		t.Errorf("Size via meter: %d %v", n, err)
+	}
+	if err := m.Remove("a"); err != nil {
+		t.Errorf("Remove via meter: %v", err)
+	}
+	if _, err := m.Open("a"); err == nil {
+		t.Error("open after remove should fail")
+	}
+}
+
+func TestMeteredErrorsDoNotCount(t *testing.T) {
+	m := NewMetered(NewMem())
+	if _, err := m.Open("missing"); err == nil {
+		t.Fatal("expected error")
+	}
+	if s := m.Stats(); s.Opens != 0 {
+		t.Errorf("failed open counted: %+v", s)
+	}
+}

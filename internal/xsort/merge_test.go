@@ -1,0 +1,101 @@
+package xsort
+
+import (
+	"testing"
+
+	"repro/internal/edge"
+	"repro/internal/fastio"
+)
+
+func TestMergeSourcesByU(t *testing.T) {
+	mk := func(pairs ...[2]uint64) *edge.List {
+		l := edge.NewList(len(pairs))
+		for _, p := range pairs {
+			l.Append(p[0], p[1])
+		}
+		return l
+	}
+	a := mk([2]uint64{1, 0}, [2]uint64{5, 0}, [2]uint64{9, 0})
+	b := mk([2]uint64{2, 0}, [2]uint64{3, 0})
+	c := mk() // empty source participates harmlessly
+	out := edge.NewList(0)
+	err := MergeSources([]fastio.EdgeSource{
+		fastio.NewListSource(a), fastio.NewListSource(b), fastio.NewListSource(c),
+	}, fastio.NewListSink(out), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantU := []uint64{1, 2, 3, 5, 9}
+	if out.Len() != len(wantU) {
+		t.Fatalf("merged %d edges", out.Len())
+	}
+	for i, w := range wantU {
+		if out.U[i] != w {
+			t.Fatalf("merged[%d].U = %d, want %d", i, out.U[i], w)
+		}
+	}
+}
+
+func TestMergeSourcesStableTieBreak(t *testing.T) {
+	// Equal keys: source 0's edges must precede source 1's.
+	a := edge.NewList(2)
+	a.Append(7, 100)
+	a.Append(7, 101)
+	b := edge.NewList(1)
+	b.Append(7, 200)
+	out := edge.NewList(0)
+	err := MergeSources([]fastio.EdgeSource{fastio.NewListSource(a), fastio.NewListSource(b)},
+		fastio.NewListSink(out), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.V[0] != 100 || out.V[1] != 101 || out.V[2] != 200 {
+		t.Errorf("tie-break order: %v", out.V)
+	}
+}
+
+func TestMergeSourcesByUV(t *testing.T) {
+	a := edge.NewList(2)
+	a.Append(1, 9)
+	a.Append(2, 1)
+	b := edge.NewList(1)
+	b.Append(1, 3)
+	out := edge.NewList(0)
+	err := MergeSources([]fastio.EdgeSource{fastio.NewListSource(a), fastio.NewListSource(b)},
+		fastio.NewListSink(out), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.IsSortedByUV() {
+		t.Errorf("byUV merge produced %v %v", out.U, out.V)
+	}
+}
+
+func TestMergeSourcesManyRandom(t *testing.T) {
+	full := randomList(31, 3000, 1<<20)
+	// Split into 7 chunks, sort each, merge, compare with direct sort.
+	const k = 7
+	var sources []fastio.EdgeSource
+	for i := 0; i < k; i++ {
+		chunk := full.Slice(i*full.Len()/k, (i+1)*full.Len()/k).Clone()
+		RadixByU(chunk)
+		sources = append(sources, fastio.NewListSource(chunk))
+	}
+	out := edge.NewList(0)
+	if err := MergeSources(sources, fastio.NewListSink(out), false); err != nil {
+		t.Fatal(err)
+	}
+	if !out.IsSortedByU() || !out.SameMultiset(full) {
+		t.Error("k-way merge incorrect")
+	}
+}
+
+func TestMergeSourcesNoSources(t *testing.T) {
+	out := edge.NewList(0)
+	if err := MergeSources(nil, fastio.NewListSink(out), false); err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 0 {
+		t.Error("empty merge produced edges")
+	}
+}

@@ -1,0 +1,444 @@
+// Package xsort implements the sorting machinery for kernel 1 of the
+// PageRank pipeline benchmark.
+//
+// Kernel 1 reads the edge files written by kernel 0, sorts the edges by
+// start vertex, and writes them back in the same format.  The paper notes
+// the kernel "has many similarities to the Sort benchmark" and that the
+// algorithm choice depends on scale: an in-memory algorithm when the edge
+// vectors fit in RAM, an out-of-core algorithm otherwise.  This package
+// provides both regimes:
+//
+//   - ByU / ByUV: comparison sorts via the standard library (the
+//     straightforward implementation, used by the coo variant);
+//   - RadixByU / RadixByUV: LSD radix sorts specialized for uint64 vertex
+//     labels (the optimized implementation, used by the csr variant);
+//   - Merge-based parallel sort (the parallel variant);
+//   - External: an out-of-core external merge sort that spills fixed-size
+//     sorted runs to a vfs.FS and k-way merges them (the extsort variant).
+package xsort
+
+import (
+	"container/heap"
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/edge"
+	"repro/internal/fastio"
+	"repro/internal/vfs"
+)
+
+// ---------------------------------------------------------------------------
+// In-memory comparison sorts
+
+type byU struct{ *edge.List }
+
+func (s byU) Less(i, j int) bool { return s.U[i] < s.U[j] }
+
+type byUV struct{ *edge.List }
+
+func (s byUV) Less(i, j int) bool {
+	return s.U[i] < s.U[j] || (s.U[i] == s.U[j] && s.V[i] < s.V[j])
+}
+
+// ByU sorts the edges in place by start vertex using the standard library's
+// comparison sort (pattern-defeating quicksort).
+func ByU(l *edge.List) { sort.Sort(byU{l}) }
+
+// ByUStable sorts by start vertex preserving the relative order of edges
+// with equal start vertices.
+func ByUStable(l *edge.List) { sort.Stable(byU{l}) }
+
+// ByUV sorts the edges in place by (start, end) vertex lexicographically —
+// the paper's "should the end vertices also be sorted?" option.
+func ByUV(l *edge.List) { sort.Sort(byUV{l}) }
+
+// ---------------------------------------------------------------------------
+// Radix sort
+
+// significantBytes returns how many low-order bytes of key are needed to
+// cover values <= max.
+func significantBytes(max uint64) int {
+	b := 1
+	for max > 0xFF {
+		max >>= 8
+		b++
+	}
+	return b
+}
+
+// RadixByU sorts the edges by start vertex with an LSD byte-radix sort.
+// It is stable and runs in O(passes · M) time with one auxiliary edge list;
+// passes is the number of significant bytes in the largest start vertex.
+func RadixByU(l *edge.List) {
+	radix(l, l.U, nil)
+}
+
+// RadixByUV sorts the edges lexicographically by (U, V): a stable LSD pass
+// over V's bytes followed by stable passes over U's bytes.
+func RadixByUV(l *edge.List) {
+	radix(l, l.V, nil)
+	radix(l, l.U, nil)
+}
+
+// radix performs a stable LSD radix sort of l ordered by the given key
+// slice (which must alias l.U or l.V).  scratch, if non-nil, supplies a
+// reusable buffer of the same length.
+func radix(l *edge.List, keys []uint64, scratch *edge.List) {
+	m := l.Len()
+	if m < 2 {
+		return
+	}
+	var max uint64
+	for _, k := range keys {
+		if k > max {
+			max = k
+		}
+	}
+	passes := significantBytes(max)
+	if scratch == nil || scratch.Len() < m {
+		scratch = edge.Make(m)
+	}
+	src, dst := l, scratch
+	srcKeys := keys
+	keyIsU := &keys[0] == &l.U[0]
+	var count [256]int
+	for p := 0; p < passes; p++ {
+		shift := uint(8 * p)
+		for i := range count {
+			count[i] = 0
+		}
+		for _, k := range srcKeys {
+			count[(k>>shift)&0xFF]++
+		}
+		sum := 0
+		for i := range count {
+			c := count[i]
+			count[i] = sum
+			sum += c
+		}
+		for i := 0; i < m; i++ {
+			b := (srcKeys[i] >> shift) & 0xFF
+			j := count[b]
+			count[b]++
+			dst.U[j] = src.U[i]
+			dst.V[j] = src.V[i]
+		}
+		src, dst = dst, src
+		if keyIsU {
+			srcKeys = src.U
+		} else {
+			srcKeys = src.V
+		}
+	}
+	if src != l {
+		copy(l.U, src.U)
+		copy(l.V, src.V)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Parallel merge sort
+
+// ParallelByU sorts the edges by start vertex using workers goroutines:
+// each worker radix-sorts a contiguous chunk, then chunks are merged
+// pairwise.  workers <= 0 selects GOMAXPROCS.  The sort is stable.
+func ParallelByU(l *edge.List, workers int) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	m := l.Len()
+	if workers > m {
+		workers = m
+	}
+	if m < 2 {
+		return
+	}
+	if workers < 2 {
+		RadixByU(l)
+		return
+	}
+	// Sort chunks concurrently.
+	bounds := make([]int, workers+1)
+	for w := 0; w <= workers; w++ {
+		bounds[w] = w * m / workers
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo, hi := bounds[w], bounds[w+1]
+		if lo == hi {
+			continue
+		}
+		wg.Add(1)
+		go func(sub *edge.List) {
+			defer wg.Done()
+			RadixByU(sub)
+		}(l.Slice(lo, hi))
+	}
+	wg.Wait()
+	// Merge pairwise until one run remains.
+	runs := make([][2]int, 0, workers)
+	for w := 0; w < workers; w++ {
+		if bounds[w] != bounds[w+1] {
+			runs = append(runs, [2]int{bounds[w], bounds[w+1]})
+		}
+	}
+	buf := edge.Make(m)
+	for len(runs) > 1 {
+		var next [][2]int
+		var mwg sync.WaitGroup
+		for i := 0; i+1 < len(runs); i += 2 {
+			a, b := runs[i], runs[i+1]
+			next = append(next, [2]int{a[0], b[1]})
+			mwg.Add(1)
+			go func(a, b [2]int) {
+				defer mwg.Done()
+				mergeRuns(l, buf, a[0], a[1], b[1])
+			}(a, b)
+		}
+		if len(runs)%2 == 1 {
+			next = append(next, runs[len(runs)-1])
+		}
+		mwg.Wait()
+		runs = next
+	}
+}
+
+// mergeRuns merges the sorted ranges [lo, mid) and [mid, hi) of l through
+// buf, stably by U.
+func mergeRuns(l, buf *edge.List, lo, mid, hi int) {
+	i, j, k := lo, mid, lo
+	for i < mid && j < hi {
+		if l.U[j] < l.U[i] {
+			buf.U[k], buf.V[k] = l.U[j], l.V[j]
+			j++
+		} else {
+			buf.U[k], buf.V[k] = l.U[i], l.V[i]
+			i++
+		}
+		k++
+	}
+	for i < mid {
+		buf.U[k], buf.V[k] = l.U[i], l.V[i]
+		i++
+		k++
+	}
+	for j < hi {
+		buf.U[k], buf.V[k] = l.U[j], l.V[j]
+		j++
+		k++
+	}
+	copy(l.U[lo:hi], buf.U[lo:hi])
+	copy(l.V[lo:hi], buf.V[lo:hi])
+}
+
+// ---------------------------------------------------------------------------
+// External merge sort
+
+// ExternalConfig parameterizes the out-of-core sort.
+type ExternalConfig struct {
+	// FS receives the intermediate run files.
+	FS vfs.FS
+	// TmpPrefix names the run files; they are deleted on success.
+	TmpPrefix string
+	// RunEdges is the number of edges sorted in memory per run.  It models
+	// the available RAM: RunEdges·16 bytes is the sorter's working set.
+	RunEdges int
+	// ByUV additionally orders equal-U edges by V.
+	ByUV bool
+}
+
+// DefaultRunEdges sorts 1 Mi edges (16 MiB) per run when unset.
+const DefaultRunEdges = 1 << 20
+
+// External sorts the edge stream src into dst using at most
+// cfg.RunEdges·16 bytes of in-memory edge storage, spilling sorted runs to
+// cfg.FS in the fixed-width binary codec and k-way merging them with a heap.
+// It returns the number of edges sorted and the number of runs spilled.
+func External(src fastio.EdgeSource, dst fastio.EdgeSink, cfg ExternalConfig) (edges int, runs int, err error) {
+	if cfg.FS == nil {
+		return 0, 0, fmt.Errorf("xsort: ExternalConfig.FS is nil")
+	}
+	if cfg.RunEdges <= 0 {
+		cfg.RunEdges = DefaultRunEdges
+	}
+	if cfg.TmpPrefix == "" {
+		cfg.TmpPrefix = "xsort-run"
+	}
+	codec := fastio.Binary{}
+
+	// Phase 1: produce sorted runs.
+	buf := edge.NewList(cfg.RunEdges)
+	var runNames []string
+	flushRun := func() error {
+		if buf.Len() == 0 {
+			return nil
+		}
+		if cfg.ByUV {
+			RadixByUV(buf)
+		} else {
+			RadixByU(buf)
+		}
+		name := fastio.StripeName(cfg.TmpPrefix, codec, len(runNames))
+		w, err := cfg.FS.Create(name)
+		if err != nil {
+			return err
+		}
+		sink := codec.NewWriter(w)
+		for i := 0; i < buf.Len(); i++ {
+			if err := sink.WriteEdge(buf.U[i], buf.V[i]); err != nil {
+				w.Close()
+				return err
+			}
+		}
+		if err := sink.Flush(); err != nil {
+			w.Close()
+			return err
+		}
+		if err := w.Close(); err != nil {
+			return err
+		}
+		runNames = append(runNames, name)
+		buf.Reset()
+		return nil
+	}
+	for {
+		u, v, rerr := src.ReadEdge()
+		if rerr == io.EOF {
+			break
+		}
+		if rerr != nil {
+			return edges, len(runNames), rerr
+		}
+		buf.Append(u, v)
+		edges++
+		if buf.Len() >= cfg.RunEdges {
+			if err := flushRun(); err != nil {
+				return edges, len(runNames), err
+			}
+		}
+	}
+
+	// Single-run fast path: no spill needed.
+	if len(runNames) == 0 {
+		if cfg.ByUV {
+			RadixByUV(buf)
+		} else {
+			RadixByU(buf)
+		}
+		for i := 0; i < buf.Len(); i++ {
+			if err := dst.WriteEdge(buf.U[i], buf.V[i]); err != nil {
+				return edges, 0, err
+			}
+		}
+		return edges, 1, dst.Flush()
+	}
+	if err := flushRun(); err != nil {
+		return edges, len(runNames), err
+	}
+
+	// Phase 2: k-way merge.
+	if err := mergeSpilledRuns(cfg, codec, runNames, dst); err != nil {
+		return edges, len(runNames), err
+	}
+	for _, name := range runNames {
+		if rmErr := cfg.FS.Remove(name); rmErr != nil && err == nil {
+			err = rmErr
+		}
+	}
+	return edges, len(runNames), err
+}
+
+// mergeEntry is one head-of-run element in the merge heap.
+type mergeEntry struct {
+	u, v uint64
+	run  int // index of the source run, used as a stable tiebreaker
+}
+
+type mergeHeap struct {
+	items []mergeEntry
+	byUV  bool
+}
+
+func (h *mergeHeap) Len() int { return len(h.items) }
+func (h *mergeHeap) Less(i, j int) bool {
+	a, b := h.items[i], h.items[j]
+	if a.u != b.u {
+		return a.u < b.u
+	}
+	if h.byUV && a.v != b.v {
+		return a.v < b.v
+	}
+	return a.run < b.run
+}
+func (h *mergeHeap) Swap(i, j int)      { h.items[i], h.items[j] = h.items[j], h.items[i] }
+func (h *mergeHeap) Push(x interface{}) { h.items = append(h.items, x.(mergeEntry)) }
+func (h *mergeHeap) Pop() interface{} {
+	old := h.items
+	n := len(old)
+	it := old[n-1]
+	h.items = old[:n-1]
+	return it
+}
+
+func mergeSpilledRuns(cfg ExternalConfig, codec fastio.Codec, runNames []string, dst fastio.EdgeSink) error {
+	sources := make([]fastio.EdgeSource, len(runNames))
+	closers := make([]io.Closer, len(runNames))
+	defer func() {
+		for _, c := range closers {
+			if c != nil {
+				c.Close()
+			}
+		}
+	}()
+	for i, name := range runNames {
+		r, err := cfg.FS.Open(name)
+		if err != nil {
+			return err
+		}
+		closers[i] = r
+		sources[i] = codec.NewReader(r)
+	}
+	return MergeSources(sources, dst, cfg.ByUV)
+}
+
+// MergeSources k-way merges already-sorted edge streams into dst,
+// preserving the sort order (by U, or by (U, V) when byUV is set).  Ties
+// break by source index, so merging stably-sorted sources is stable.
+// It is the merge phase of the external sorter, exported because the same
+// operation combines per-processor sorted files in distributed kernel-1
+// settings.  Sources that are not actually sorted produce merged output
+// that is not sorted either; callers own that precondition.
+func MergeSources(sources []fastio.EdgeSource, dst fastio.EdgeSink, byUV bool) error {
+	h := &mergeHeap{byUV: byUV}
+	for i, src := range sources {
+		u, v, err := src.ReadEdge()
+		if err == io.EOF {
+			continue
+		}
+		if err != nil {
+			return err
+		}
+		h.items = append(h.items, mergeEntry{u, v, i})
+	}
+	heap.Init(h)
+	for h.Len() > 0 {
+		top := h.items[0]
+		if err := dst.WriteEdge(top.u, top.v); err != nil {
+			return err
+		}
+		u, v, err := sources[top.run].ReadEdge()
+		if err == io.EOF {
+			heap.Pop(h)
+			continue
+		}
+		if err != nil {
+			return err
+		}
+		h.items[0] = mergeEntry{u, v, top.run}
+		heap.Fix(h, 0)
+	}
+	return dst.Flush()
+}
