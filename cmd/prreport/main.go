@@ -140,6 +140,9 @@ func distributed(seed uint64, procs int) {
 	fmt.Printf("- closed-form prediction: %d bytes (must match exactly)\n", predicted)
 	match := res.Comm.AllReduceBytes+res.Comm.BroadcastBytes == predicted
 	fmt.Printf("- match: %v\n\n", match)
+	if !match {
+		fatal(fmt.Errorf("measured communication diverges from the closed-form model"))
+	}
 }
 
 func fatal(err error) {

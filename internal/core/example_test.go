@@ -35,8 +35,9 @@ func ExampleSizeTable() {
 	// 16 65536 1048576 25165824
 }
 
-// ExampleVariants lists the implementation variants standing in for the
-// paper's six language implementations.
+// ExampleVariants lists the implementation variants: the six serial
+// analogues of the paper's language implementations plus the simulated
+// distributed runtime.
 func ExampleVariants() {
 	for _, v := range core.Variants() {
 		fmt.Println(v)
@@ -45,6 +46,7 @@ func ExampleVariants() {
 	// columnar
 	// coo
 	// csr
+	// dist
 	// extsort
 	// graphblas
 	// parallel

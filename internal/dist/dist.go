@@ -1,0 +1,155 @@
+// Package dist is a simulated distributed-memory runtime for the PageRank
+// pipeline benchmark: it executes kernels 1-3 over p virtual processors
+// with exact communication accounting, reproducing the parallel analysis
+// of the paper's §V (distributed sample sort for kernel 1, 1D row-block
+// decomposition with a rank-vector all-reduce per iteration for kernel 3).
+//
+// Every virtual processor owns a contiguous block of rows (vertices) and a
+// contiguous chunk of the input edge list.  Data crossing processor
+// boundaries is metered by the collective layer below; the closed-form
+// model PredictedCommBytes reproduces the collective volume exactly, byte
+// for byte, which the prreport command asserts.
+//
+// The simulation is deterministic and single-threaded: results are
+// bit-for-bit independent of p for kernel 1 (Sort equals the serial stable
+// radix sort exactly) and match the serial kernel-3 engines to ~1e-12 for
+// every p (floating-point sums re-associate across rank boundaries, which
+// is the only source of deviation).
+package dist
+
+// CommStats records the communication volume of a distributed run, broken
+// down by collective kind.  Byte counts are wire bytes under a linear
+// cost model: a broadcast of B payload bytes to p processors sends
+// B·(p-1) bytes, an all-reduce gathers and redistributes for 2·B·(p-1),
+// and all-to-all counts every byte that leaves its source processor.
+// A single processor communicates nothing: at p = 1 every collective is
+// a local no-op and the whole record stays zero, for Sort and Run alike.
+type CommStats struct {
+	// AllToAllBytes is the personalized-exchange volume: edge data (and
+	// sort samples) routed between distinct processors.
+	AllToAllBytes uint64
+	// AllReduceCalls counts reduction collectives (in-degree vector,
+	// rank-vector product, dangling-mass scalar).
+	AllReduceCalls uint64
+	// AllReduceBytes is the all-reduce wire volume, 2·payload·(p-1) per call.
+	AllReduceBytes uint64
+	// BroadcastCalls counts one-to-all collectives (splitters, the initial
+	// rank vector).
+	BroadcastCalls uint64
+	// BroadcastBytes is the broadcast wire volume, payload·(p-1) per call.
+	BroadcastBytes uint64
+}
+
+// comm is the collective layer shared by Sort and Run: it performs the
+// actual data movement between virtual processors and meters every byte.
+type comm struct {
+	p  int
+	st CommStats
+}
+
+// allReduceSum element-wise sums the processors' equal-length partial
+// vectors into out, leaving the reduced vector replicated on every rank
+// (in the simulation, shared).  Partials are combined in rank order, the
+// same association a rooted reduction tree walked in rank order produces.
+func (c *comm) allReduceSum(out []float64, partials [][]float64) {
+	for i := range out {
+		out[i] = 0
+	}
+	for _, part := range partials {
+		for i, v := range part {
+			out[i] += v
+		}
+	}
+	if c.p > 1 {
+		c.st.AllReduceCalls++
+		c.st.AllReduceBytes += 2 * 8 * uint64(len(out)) * uint64(c.p-1)
+	}
+}
+
+// allReduceScalar sums one float64 contribution per rank.
+func (c *comm) allReduceScalar(parts []float64) float64 {
+	var s float64
+	for _, v := range parts {
+		s += v
+	}
+	if c.p > 1 {
+		c.st.AllReduceCalls++
+		c.st.AllReduceBytes += 2 * 8 * uint64(c.p-1)
+	}
+	return s
+}
+
+// broadcastFloats meters the broadcast of an n-element float64 vector
+// from rank 0 to every other rank.  The simulation shares the backing
+// array; only the wire volume is recorded.
+func (c *comm) broadcastFloats(n int) {
+	if c.p > 1 {
+		c.st.BroadcastCalls++
+		c.st.BroadcastBytes += 8 * uint64(n) * uint64(c.p-1)
+	}
+}
+
+// broadcastKeys meters the broadcast of a uint64 key slice (the sort's
+// splitters).
+func (c *comm) broadcastKeys(keys []uint64) []uint64 {
+	if c.p > 1 {
+		c.st.BroadcastCalls++
+		c.st.BroadcastBytes += 8 * uint64(len(keys)) * uint64(c.p-1)
+	}
+	return keys
+}
+
+// blockBounds returns the half-open range [lo, hi) of the r-th of p
+// contiguous blocks of n items: the canonical 1D block distribution used
+// for both row ownership and input-chunk ownership.
+func blockBounds(n, p, r int) (lo, hi int) {
+	return r * n / p, (r + 1) * n / p
+}
+
+// blockOwner returns the rank whose blockBounds range contains index i.
+func blockOwner(n, p int, i int) int {
+	r := i * p / n
+	if r >= p {
+		r = p - 1
+	}
+	// i*p/n is only an estimate of the inverse of blockBounds' integer
+	// floors; walk to the block that actually contains i.
+	for r > 0 && i < r*n/p {
+		r--
+	}
+	for r < p-1 && i >= (r+1)*n/p {
+		r++
+	}
+	return r
+}
+
+// PredictedCommBytes is the closed-form model of Run's collective traffic
+// (all-reduce plus broadcast wire bytes) for an n-vertex graph on p
+// processors running the given number of PageRank iterations:
+//
+//	broadcast of the initial rank vector:   8·n·(p-1)
+//	all-reduce of the in-degree vector:   2·8·n·(p-1)        (kernel 2)
+//	matrix-mass and NNZ scalars:        2·2·8·(p-1)          (kernel 2)
+//	per iteration, all-reduce of r·A:     2·8·n·(p-1)        (kernel 3)
+//	per iteration, dangling-mass scalar:  2·8·(p-1)  if dangling
+//
+// The model equals the measured Comm.AllReduceBytes + Comm.BroadcastBytes
+// of Run exactly — not approximately — because both are derived from the
+// same collective schedule; prreport asserts the equality on every run.
+// All-to-all edge routing is excluded: it belongs to kernel 1's cost
+// (see perfmodel.ParallelKernel1) and depends on the data, not just n.
+func PredictedCommBytes(n, p, iterations int, dangling bool) uint64 {
+	if p <= 1 {
+		return 0
+	}
+	links := uint64(p - 1)
+	vec := 8 * uint64(n)
+	total := vec * links         // initial rank-vector broadcast
+	total += 2 * vec * links     // in-degree all-reduce (filter)
+	total += 2 * 2 * 8 * links   // matrix-mass and NNZ scalar all-reduces
+	perIter := 2 * vec * links   // rank-vector product all-reduce
+	if dangling {
+		perIter += 2 * 8 * links // dangling-mass scalar all-reduce
+	}
+	return total + uint64(iterations)*perIter
+}

@@ -1,0 +1,307 @@
+package dist
+
+// Distributed kernels 2 and 3: 1D row-block decomposition.  Each virtual
+// processor owns a contiguous block of rows of the adjacency matrix;
+// kernel 2 routes edges to the row owner, builds the local counting
+// matrix, all-reduces the in-degree vector to apply the paper's
+// super-node/leaf filter globally, and normalizes rows locally.  Kernel 3
+// keeps the rank vector replicated: every iteration each processor
+// computes the partial product of its row block and the partials are
+// summed by one all-reduce — the communication pattern whose closed form
+// the paper derives and PredictedCommBytes reproduces.
+
+import (
+	"fmt"
+
+	"repro/internal/edge"
+	"repro/internal/pagerank"
+	"repro/internal/sparse"
+)
+
+// Result is the outcome of a distributed kernel-2/kernel-3 run.
+type Result struct {
+	// Rank is the final rank vector, matching the serial engines to ~1e-12.
+	Rank []float64
+	// NNZ is the global stored-entry count of the filtered matrix.
+	NNZ int
+	// Comm is the full communication record of the run.
+	Comm CommStats
+	// Iterations is the number of PageRank update steps performed.
+	Iterations int
+}
+
+// BuildResult is the outcome of the distributed kernel 2 alone.
+type BuildResult struct {
+	// Matrix is the assembled global filtered, normalized matrix — bit-for-
+	// bit equal to the serial kernel-2 output (sparse.FromEdges followed by
+	// the kernel-2 filter), because row blocks are disjoint and integer
+	// degree sums are exact.
+	Matrix *sparse.CSR
+	// Mass is sum(A) before filtering (equals M for a full edge list).
+	Mass float64
+	// NNZ is the filtered stored-entry count.
+	NNZ int
+	// Comm records the edge routing and the in-degree all-reduce.
+	Comm CommStats
+}
+
+// rankState is one virtual processor's share of the matrix: the row block
+// [lo, hi) of a square n×n CSR whose rows outside the block are empty.
+// The square form duplicates O(n) row pointers per rank; the simulation's
+// footprint is O(p·n) regardless because of the p full-length partial
+// vectors the replicated-rank-vector model requires, so block-local
+// storage is deferred until a real multi-process runtime needs it (see
+// ROADMAP).
+type rankState struct {
+	lo, hi int
+	a      *sparse.CSR
+	// danglingRows lists owned rows with zero out-degree after filtering.
+	danglingRows []int
+}
+
+// Run executes the distributed kernel-2/kernel-3 pipeline over p virtual
+// processors: route edges by row owner, build and filter the distributed
+// matrix, then iterate PageRank with a metered all-reduce per step.  The
+// result matches pagerank.Scatter on the serially built and filtered
+// matrix to well under 1e-9 for every p.
+func Run(l *edge.List, n, p int, opt pagerank.Options) (*Result, error) {
+	c := &comm{p: p}
+	states, _, nnz, err := buildFiltered(l, n, p, c)
+	if err != nil {
+		return nil, err
+	}
+	rank, iters, err := iterate(states, n, opt, c)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Rank: rank, NNZ: nnz, Comm: c.st, Iterations: iters}, nil
+}
+
+// RunMatrix executes the metered distributed kernel-3 iteration on an
+// already filtered, normalized matrix (kernel 2's output), splitting it
+// into p row blocks.  It is the kernel-3 entry point of the pipeline's
+// "dist" variant, which builds the matrix through BuildFiltered first.
+func RunMatrix(a *sparse.CSR, p int, opt pagerank.Options) (*Result, error) {
+	if a == nil {
+		return nil, fmt.Errorf("dist: RunMatrix of nil matrix")
+	}
+	if p < 1 {
+		return nil, fmt.Errorf("dist: RunMatrix with p = %d, want >= 1", p)
+	}
+	states := splitMatrix(a, p)
+	c := &comm{p: p}
+	rank, iters, err := iterate(states, a.N, opt, c)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Rank: rank, NNZ: a.NNZ(), Comm: c.st, Iterations: iters}, nil
+}
+
+// BuildFiltered executes the distributed kernel 2 over p virtual
+// processors and assembles the global filtered matrix from the row blocks.
+func BuildFiltered(l *edge.List, n, p int) (*BuildResult, error) {
+	c := &comm{p: p}
+	states, mass, nnz, err := buildFiltered(l, n, p, c)
+	if err != nil {
+		return nil, err
+	}
+	return &BuildResult{Matrix: assemble(states, n), Mass: mass, NNZ: nnz, Comm: c.st}, nil
+}
+
+// buildFiltered routes edges, builds per-rank local matrices and applies
+// the kernel-2 filter with a global in-degree all-reduce.  The filter
+// semantics are exactly pipeline.ApplyKernel2Filter's — both derive the
+// column mask from sparse.Kernel2Mask:
+//
+//	din = sum(A,1); zero columns with din == max(din) or din == 1;
+//	compact; divide each non-empty row by its out-degree.
+func buildFiltered(l *edge.List, n, p int, c *comm) ([]*rankState, float64, int, error) {
+	if l == nil {
+		return nil, 0, 0, fmt.Errorf("dist: nil edge list")
+	}
+	if n < 1 {
+		return nil, 0, 0, fmt.Errorf("dist: n = %d, want >= 1", n)
+	}
+	if p < 1 {
+		return nil, 0, 0, fmt.Errorf("dist: p = %d, want >= 1", p)
+	}
+
+	// Route edges to their row owner, scanning source chunks in rank
+	// order.  Off-rank edges are metered as all-to-all traffic.
+	parts := make([]*edge.List, p)
+	for r := range parts {
+		parts[r] = edge.NewList(0)
+	}
+	m := l.Len()
+	for src := 0; src < p; src++ {
+		lo, hi := blockBounds(m, p, src)
+		for i := lo; i < hi; i++ {
+			u, v := l.U[i], l.V[i]
+			if u >= uint64(n) || v >= uint64(n) {
+				return nil, 0, 0, fmt.Errorf("dist: edge (%d,%d) out of range N=%d", u, v, n)
+			}
+			d := blockOwner(n, p, int(u))
+			parts[d].Append(u, v)
+			if d != src {
+				c.st.AllToAllBytes += 16
+			}
+		}
+	}
+
+	// Local counting-matrix builds (square n×n; only owned rows occupied).
+	states := make([]*rankState, p)
+	massParts := make([]float64, p)
+	partialDin := make([][]float64, p)
+	for r := 0; r < p; r++ {
+		lo, hi := blockBounds(n, p, r)
+		a, err := sparse.FromEdges(parts[r], n)
+		if err != nil {
+			return nil, 0, 0, err
+		}
+		states[r] = &rankState{lo: lo, hi: hi, a: a}
+		massParts[r] = a.SumValues()
+		partialDin[r] = a.InDegrees()
+	}
+	// The global matrix mass is a cross-rank scalar reduction (it feeds
+	// the paper's sum(A) == M check), so it is metered like one.
+	mass := c.allReduceScalar(massParts)
+
+	// Global filter: one all-reduce of the in-degree vector, then purely
+	// local column zeroing and row normalization.  Degree sums are integer
+	// counts, so the distributed din is exact and the shared mask rule
+	// (sparse.Kernel2Mask, also used by the serial filter) produces the
+	// same mask the serial kernel 2 computes.
+	din := make([]float64, n)
+	c.allReduceSum(din, partialDin)
+	mask, _, _, _ := sparse.Kernel2Mask(din)
+	nnzParts := make([]float64, p)
+	for r, st := range states {
+		st.a.ZeroColumns(mask)
+		st.a.Compact()
+		dout := st.a.OutDegrees()
+		st.a.ScaleRows(dout)
+		for i := st.lo; i < st.hi; i++ {
+			if dout[i] == 0 {
+				st.danglingRows = append(st.danglingRows, i)
+			}
+		}
+		nnzParts[r] = float64(st.a.NNZ())
+	}
+	// The global stored-entry count is likewise a metered scalar
+	// reduction; counts are integers, so the float64 sum is exact.
+	nnz := int(c.allReduceScalar(nnzParts))
+	return states, mass, nnz, nil
+}
+
+// splitMatrix views a global matrix as p row-block rankStates sharing the
+// original Col/Val storage.
+func splitMatrix(a *sparse.CSR, p int) []*rankState {
+	states := make([]*rankState, p)
+	dout := a.OutDegrees()
+	for r := 0; r < p; r++ {
+		lo, hi := blockBounds(a.N, p, r)
+		loPtr, hiPtr := a.RowPtr[lo], a.RowPtr[hi]
+		rowPtr := make([]int64, a.N+1)
+		for i := 1; i <= a.N; i++ {
+			switch {
+			case i <= lo:
+				rowPtr[i] = 0
+			case i >= hi:
+				rowPtr[i] = hiPtr - loPtr
+			default:
+				rowPtr[i] = a.RowPtr[i] - loPtr
+			}
+		}
+		st := &rankState{lo: lo, hi: hi, a: &sparse.CSR{
+			N: a.N, RowPtr: rowPtr, Col: a.Col[loPtr:hiPtr], Val: a.Val[loPtr:hiPtr],
+		}}
+		for i := lo; i < hi; i++ {
+			if dout[i] == 0 {
+				st.danglingRows = append(st.danglingRows, i)
+			}
+		}
+		states[r] = st
+	}
+	return states
+}
+
+// vxm computes out = r·A for this processor's share: the scatter product
+// of sparse.CSR.VxM restricted to the owned row block [lo, hi), so the
+// row scan is bounded by the block instead of walking all n (empty) row
+// headers.  out is full length — contributions scatter to arbitrary
+// columns — and is zeroed first.
+func (st *rankState) vxm(out, r []float64) {
+	for i := range out {
+		out[i] = 0
+	}
+	a := st.a
+	for i := st.lo; i < st.hi; i++ {
+		ri := r[i]
+		if ri == 0 {
+			continue
+		}
+		for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
+			out[a.Col[k]] += ri * a.Val[k]
+		}
+	}
+}
+
+// assemble concatenates the disjoint row blocks back into one global CSR.
+func assemble(states []*rankState, n int) *sparse.CSR {
+	nnz := 0
+	for _, st := range states {
+		nnz += st.a.NNZ()
+	}
+	out := &sparse.CSR{
+		N:      n,
+		RowPtr: make([]int64, n+1),
+		Col:    make([]uint32, 0, nnz),
+		Val:    make([]float64, 0, nnz),
+	}
+	for _, st := range states {
+		for i := st.lo; i < st.hi; i++ {
+			lo, hi := st.a.RowPtr[i], st.a.RowPtr[i+1]
+			out.Col = append(out.Col, st.a.Col[lo:hi]...)
+			out.Val = append(out.Val, st.a.Val[lo:hi]...)
+			out.RowPtr[i+1] = int64(len(out.Col))
+		}
+	}
+	return out
+}
+
+// iterate is the distributed kernel-3 driver: pagerank.RunCustom supplies
+// the exact serial update semantics, and the two hooks distribute it —
+// the step hook computes each processor's row-block partial product and
+// all-reduces the partials, and the dangling-mass hook performs a scalar
+// all-reduce because out-degrees are distributed.  The rank vector stays
+// replicated: rank 0 materializes the initial vector inside the driver
+// and one broadcast ships it.
+func iterate(states []*rankState, n int, opt pagerank.Options, c *comm) ([]float64, int, error) {
+	partials := make([][]float64, len(states))
+	for i := range partials {
+		partials[i] = make([]float64, n)
+	}
+	dangleParts := make([]float64, len(states))
+	step := func(out, r []float64) {
+		for rk, st := range states {
+			st.vxm(partials[rk], r)
+		}
+		c.allReduceSum(out, partials)
+	}
+	dangleMass := func(r []float64) float64 {
+		for rk, st := range states {
+			var s float64
+			for _, i := range st.danglingRows {
+				s += r[i]
+			}
+			dangleParts[rk] = s
+		}
+		return c.allReduceScalar(dangleParts)
+	}
+	c.broadcastFloats(n) // the initial rank vector
+	res, err := pagerank.RunCustom(n, step, dangleMass, opt)
+	if err != nil {
+		return nil, 0, err
+	}
+	return res.Rank, res.Iterations, nil
+}

@@ -1,0 +1,123 @@
+package dist
+
+// Distributed sample sort (kernel 1), the paper's proposed parallel sort:
+// each processor samples its chunk, a root picks p-1 splitters from the
+// gathered sample, edges are exchanged all-to-all by key range, and each
+// processor sorts its bucket locally.
+//
+// The implementation is carefully stable so that the distributed result
+// equals the serial stable radix sort bit for bit, for every p:
+//
+//   - input chunks are contiguous and scanned in rank order, so every
+//     bucket receives its edges in global input order;
+//   - routing depends only on the start vertex, so equal keys land in the
+//     same bucket;
+//   - the local sort is the same stable LSD radix sort the serial kernel
+//     uses, and bucket key ranges are disjoint.
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/edge"
+	"repro/internal/xsort"
+)
+
+// SamplesPerRank is the sample-sort oversampling factor: each processor
+// contributes up to this many evenly spaced keys to the splitter sample.
+// perfmodel.ParallelKernel1's splitter-exchange term uses the same
+// constant so the documented cost model matches the implementation.
+const SamplesPerRank = 24
+
+// SortResult is the outcome of a distributed sort.
+type SortResult struct {
+	// Sorted is the globally sorted edge list (concatenated bucket
+	// outputs), bit-for-bit equal to xsort.RadixByU of the input.
+	Sorted *edge.List
+	// Comm records the sample gather, splitter broadcast and all-to-all
+	// edge exchange.
+	Comm CommStats
+}
+
+// Sort performs the distributed sample sort of l by start vertex over p
+// virtual processors.  The input is not modified.
+func Sort(l *edge.List, p int) (*SortResult, error) {
+	if l == nil {
+		return nil, fmt.Errorf("dist: Sort of nil edge list")
+	}
+	if p < 1 {
+		return nil, fmt.Errorf("dist: Sort with p = %d, want >= 1", p)
+	}
+	m := l.Len()
+	if p == 1 || m == 0 {
+		out := l.Clone()
+		xsort.RadixByU(out)
+		return &SortResult{Sorted: out}, nil
+	}
+	c := &comm{p: p}
+
+	// Phase 1: each rank draws evenly spaced keys from its chunk; the
+	// samples are gathered at rank 0 (personalized sends, metered as
+	// all-to-all traffic).
+	samples := make([]uint64, 0, p*SamplesPerRank)
+	for r := 0; r < p; r++ {
+		lo, hi := blockBounds(m, p, r)
+		cnt := hi - lo
+		if cnt == 0 {
+			continue
+		}
+		s := SamplesPerRank
+		if s > cnt {
+			s = cnt
+		}
+		for k := 0; k < s; k++ {
+			samples = append(samples, l.U[lo+k*cnt/s])
+		}
+		if r != 0 {
+			c.st.AllToAllBytes += 8 * uint64(s)
+		}
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+
+	// Phase 2: rank 0 selects p-1 splitters at even sample quantiles and
+	// broadcasts them.  Duplicate splitters (p larger than the number of
+	// distinct keys) simply leave some buckets empty.
+	splitters := make([]uint64, p-1)
+	for i := range splitters {
+		splitters[i] = samples[(i+1)*len(samples)/p]
+	}
+	splitters = c.broadcastKeys(splitters)
+
+	// Phase 3: all-to-all exchange.  Scanning source chunks in rank order
+	// keeps each bucket in global input order, which is what makes the
+	// final concatenation a stable sort.
+	buckets := make([]*edge.List, p)
+	for r := range buckets {
+		buckets[r] = edge.NewList(m / p)
+	}
+	for src := 0; src < p; src++ {
+		lo, hi := blockBounds(m, p, src)
+		for i := lo; i < hi; i++ {
+			u := l.U[i]
+			d := destRank(splitters, u)
+			buckets[d].Append(u, l.V[i])
+			if d != src {
+				c.st.AllToAllBytes += 16 // two uint64 endpoints
+			}
+		}
+	}
+
+	// Phase 4: local stable sorts, concatenated in rank order.
+	out := edge.NewList(m)
+	for _, b := range buckets {
+		xsort.RadixByU(b)
+		out.AppendList(b)
+	}
+	return &SortResult{Sorted: out, Comm: c.st}, nil
+}
+
+// destRank returns the bucket owning key u: rank i holds keys in
+// [splitters[i-1], splitters[i]) with open outer sentinels.
+func destRank(splitters []uint64, u uint64) int {
+	return sort.Search(len(splitters), func(i int) bool { return u < splitters[i] })
+}

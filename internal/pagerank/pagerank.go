@@ -218,14 +218,35 @@ func danglingMask(a *sparse.CSR) []bool {
 	return mask
 }
 
-// run is the shared iteration driver.  Each iteration computes
+// run adapts a dangling mask to the RunCustom driver, shared by the serial
+// engines.
+func run(n int, step stepFunc, dangling []bool, opt Options) (*Result, error) {
+	return RunCustom(n, step, func(r []float64) float64 {
+		var m float64
+		for i, d := range dangling {
+			if d {
+				m += r[i]
+			}
+		}
+		return m
+	}, opt)
+}
+
+// RunCustom is the shared iteration driver.  Each iteration computes
 //
 //	r' = c·(r·A) + (1-c)·sum(r)·v + c·D(r)·w
 //
 // where v is the teleport vector (uniform by default), and the dangling
 // term D(r)·w depends on the policy: absent (ignore), uniform w (weakly
 // preferential), or w = v (strongly preferential).
-func run(n int, step stepFunc, dangling []bool, opt Options) (*Result, error) {
+//
+// step evaluates out = r·A and dangleMass returns D(r), the rank mass on
+// zero-out-degree vertices (called only when a dangling policy is
+// active).  Both are extension points: the serial engines supply a local
+// product and a mask scan, while the distributed runtime (internal/dist)
+// supplies a metered all-reduce product and a metered scalar reduction,
+// so every engine shares these update semantics exactly.
+func RunCustom(n int, step func(out, r []float64), dangleMass func(r []float64) float64, opt Options) (*Result, error) {
 	if err := opt.Validate(); err != nil {
 		return nil, err
 	}
@@ -247,13 +268,9 @@ func run(n int, step stepFunc, dangling []bool, opt Options) (*Result, error) {
 	for it := 0; it < iters; it++ {
 		sumR := sparse.Sum(r)
 		step(next, r)
-		var dangleMass float64
+		var dangle float64
 		if policy != DanglingIgnore {
-			for i, d := range dangling {
-				if d {
-					dangleMass += r[i]
-				}
-			}
+			dangle = dangleMass(r)
 		}
 		teleMass := (1 - c) * sumR
 		switch {
@@ -262,7 +279,7 @@ func run(n int, step stepFunc, dangling []bool, opt Options) (*Result, error) {
 			// a single scalar addend, the benchmark fast path.
 			addend := teleMass * uniform
 			if policy == DanglingUniform {
-				addend += c * dangleMass * uniform
+				addend += c * dangle * uniform
 			}
 			for j := range next {
 				next[j] = c*next[j] + addend
@@ -277,9 +294,9 @@ func run(n int, step stepFunc, dangling []bool, opt Options) (*Result, error) {
 				x := c*next[j] + teleMass*vj
 				switch policy {
 				case DanglingUniform:
-					x += c * dangleMass * uniform
+					x += c * dangle * uniform
 				case DanglingTeleport:
-					x += c * dangleMass * vj
+					x += c * dangle * vj
 				}
 				next[j] = x
 			}

@@ -21,6 +21,8 @@ package perfmodel
 import (
 	"fmt"
 	"math"
+
+	"repro/internal/dist"
 )
 
 // Hardware is the parameter set of the machine model.
@@ -240,9 +242,15 @@ func ParallelKernel3(h Hardware, w Workload, p int) Prediction {
 }
 
 // ParallelKernel1 models the distributed sample sort of dist.Sort on p
-// nodes: per-node storage and radix work divide by p, while the all-to-all
-// exchange moves M·16·(p-1)/p bytes in aggregate — each node injects its
-// 1/p share at NetBandwidth — plus a splitter-exchange latency term.
+// nodes, mirroring its metered communication schedule phase for phase:
+// per-node storage and radix work divide by p; the all-to-all exchange
+// routes each node's M/p edges, of which an expected (p-1)/p fraction are
+// off-node at 16 bytes (two uint64 endpoints) each, injected at
+// NetBandwidth; and the splitter exchange — a gather of
+// dist.SamplesPerRank keys per node followed by a broadcast of p-1
+// splitters — adds its 8-bytes-per-key volume plus two log2(p)-depth
+// collective latencies.  dist.Sort's SortResult.Comm measures the same
+// quantities, so model and measurement share their terms.
 func ParallelKernel1(h Hardware, w Workload, p int) Prediction {
 	w = w.withDefaults()
 	if p < 1 {
@@ -256,7 +264,8 @@ func ParallelKernel1(h Hardware, w Workload, p int) Prediction {
 	times := map[string]float64{"compute": compute, "memory": memory, "storage": storage}
 	if p > 1 {
 		perNode := m / float64(p) * 16 * float64(p-1) / float64(p)
-		times["network"] = perNode/h.NetBandwidth + 2*math.Log2(float64(p))*h.NetLatency
+		splitterExchange := 8 * float64(dist.SamplesPerRank+p-1)
+		times["network"] = (perNode+splitterExchange)/h.NetBandwidth + 2*math.Log2(float64(p))*h.NetLatency
 	}
 	return prediction(m, times)
 }

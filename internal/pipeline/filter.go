@@ -27,22 +27,11 @@ type FilterStats struct {
 // filtering statistics.
 func ApplyKernel2Filter(a *sparse.CSR) FilterStats {
 	din := a.InDegrees()
-	maxDin := sparse.MaxValue(din)
 	var st FilterStats
+	mask, maxDin, superNodes, leaves := sparse.Kernel2Mask(din)
 	st.MaxInDegree = maxDin
-	mask := make([]bool, a.N)
-	for j, d := range din {
-		switch {
-		case d == 0:
-			// empty column: nothing to eliminate
-		case d == maxDin:
-			mask[j] = true
-			st.SuperNodeColumns++
-		case d == 1:
-			mask[j] = true
-			st.LeafColumns++
-		}
-	}
+	st.SuperNodeColumns = superNodes
+	st.LeafColumns = leaves
 	st.EntriesZeroed = a.ZeroColumns(mask)
 	a.Compact()
 	a.ScaleRows(a.OutDegrees())

@@ -8,10 +8,12 @@
 // paper's metrics: edges/second with M edges for K0–K2 and 20·M edges for
 // K3.
 //
-// Multiple implementation variants register themselves in a registry; they
-// stand in for the paper's six language implementations (C++, Python,
-// Python/Pandas, Matlab, Octave, Julia), each exercising the same kernel
-// contracts through a different code path (see DESIGN.md §1).
+// Multiple implementation variants register themselves in a registry; six
+// stand in for the paper's language implementations (C++, Python,
+// Python/Pandas, Matlab, Octave, Julia) and a seventh ("dist") runs the
+// simulated distributed-memory pipeline of the paper's §V analysis, each
+// exercising the same kernel contracts through a different code path (see
+// DESIGN.md §1).
 package pipeline
 
 import (

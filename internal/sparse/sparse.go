@@ -349,6 +349,31 @@ func (a *CSR) ScaleRows(scale []float64) {
 	}
 }
 
+// Kernel2Mask returns the benchmark's kernel-2 column-elimination mask
+// for the in-degree vector din: true for columns whose in-degree equals
+// max(din) (super-nodes) or exactly 1 (leaves); empty columns are never
+// marked.  It also returns max(din) and the super-node and leaf column
+// counts.  Both the serial filter (pipeline.ApplyKernel2Filter) and the
+// distributed filter (internal/dist) derive their masks here, which is
+// what keeps the two bit-identical.
+func Kernel2Mask(din []float64) (mask []bool, maxDin float64, superNodes, leaves int) {
+	maxDin = MaxValue(din)
+	mask = make([]bool, len(din))
+	for j, d := range din {
+		switch {
+		case d == 0:
+			// empty column: nothing to eliminate
+		case d == maxDin:
+			mask[j] = true
+			superNodes++
+		case d == 1:
+			mask[j] = true
+			leaves++
+		}
+	}
+	return mask, maxDin, superNodes, leaves
+}
+
 // MaxValue returns the maximum of vec, or 0 for an empty vector.
 func MaxValue(vec []float64) float64 {
 	m := math.Inf(-1)
