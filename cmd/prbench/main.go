@@ -9,9 +9,17 @@
 //
 //	prbench -sweep -minscale 16 -maxscale 20
 //
-// Simulated distributed run with communication accounting:
+// Distributed run with communication accounting — simulated (default),
+// real goroutine ranks, or both cross-checked against each other:
 //
 //	prbench -scale 16 -procs 8
+//	prbench -scale 16 -procs 8 -distmode goroutine
+//	prbench -scale 16 -procs 8 -distmode both
+//
+// Wall-clock scaling of the goroutine-rank runtime across processor
+// counts, with the hardware model's predicted speedup alongside:
+//
+//	prbench -scale 16 -procsweep 1,2,4,8
 //
 // Hardware-model predictions for the paper's platform:
 //
@@ -52,7 +60,9 @@ func main() {
 		sweep      = flag.Bool("sweep", false, "sweep scales and emit the paper's figures 4-7")
 		minScale   = flag.Int("minscale", 16, "sweep: smallest scale")
 		maxScale   = flag.Int("maxscale", 18, "sweep: largest scale")
-		procs      = flag.Int("procs", 0, "simulate a distributed run on this many processors")
+		procs      = flag.Int("procs", 0, "run the distributed pipeline on this many processors (ranks)")
+		distMode   = flag.String("distmode", "", "distributed execution: sim or goroutine (empty = variant default); with -procs also 'both' to cross-check the modes")
+		procSweep  = flag.String("procsweep", "", "comma-separated rank counts for a goroutine-mode wall-clock scaling table")
 		predict    = flag.Bool("predict", false, "print hardware-model predictions and exit")
 		format     = flag.String("format", "table", "output format: table, csv, markdown")
 		ascii      = flag.Bool("ascii", true, "sweep: also draw ASCII log-log plots")
@@ -63,11 +73,22 @@ func main() {
 		printPredictions(*scale, *format)
 		return
 	}
-	if *procs > 0 {
-		if err := runDistributed(*scale, *edgeFactor, *seed, *procs, *iterations, *damping, *dangling); err != nil {
+	if *procSweep != "" {
+		if err := runProcSweep(*scale, *edgeFactor, *seed, *procSweep, *iterations, *damping, *dangling, *format); err != nil {
 			fatal(err)
 		}
 		return
+	}
+	if *procs > 0 {
+		if err := runDistributed(*scale, *edgeFactor, *seed, *procs, *iterations, *damping, *dangling, *distMode); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *distMode == "both" {
+		// "both" is the cross-check spelling of the direct -procs runner;
+		// a pipeline run executes one variant in one mode.
+		fatal(fmt.Errorf("-distmode both requires -procs; use -distmode sim or goroutine with -variant"))
 	}
 	if *sweep {
 		if err := runSweep(*minScale, *maxScale, *edgeFactor, *seed, *variant, *format, *ascii); err != nil {
@@ -85,6 +106,7 @@ func main() {
 		Generator:       pipeline.GeneratorKind(*generator),
 		Workers:         *workers,
 		SortEndVertices: *sortEnds,
+		DistMode:        *distMode,
 		PageRank: pagerank.Options{
 			Iterations: *iterations,
 			Damping:    *damping,
@@ -217,7 +239,7 @@ func runSweep(minScale, maxScale, edgeFactor int, seed uint64, variant, format s
 	return nil
 }
 
-func runDistributed(scale, edgeFactor int, seed uint64, procs, iterations int, damping float64, dangling bool) error {
+func runDistributed(scale, edgeFactor int, seed uint64, procs, iterations int, damping float64, dangling bool, mode string) error {
 	kcfg := kronecker.New(scale, seed)
 	kcfg.EdgeFactor = edgeFactor
 	l, err := kronecker.Generate(kcfg)
@@ -225,16 +247,107 @@ func runDistributed(scale, edgeFactor int, seed uint64, procs, iterations int, d
 		return err
 	}
 	opt := pagerank.Options{Iterations: iterations, Damping: damping, Dangling: dangling, Seed: seed}
-	res, err := dist.Run(l, int(kcfg.N()), procs, opt)
+	modes := []dist.ExecMode{}
+	switch mode {
+	case "both":
+		modes = append(modes, dist.ExecSim, dist.ExecGoroutine)
+	default:
+		m, err := dist.ParseExecMode(mode)
+		if err != nil {
+			return err
+		}
+		modes = append(modes, m)
+	}
+	var first *dist.Result
+	for _, m := range modes {
+		res, err := dist.RunMode(m, l, int(kcfg.N()), procs, opt)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("distributed pipeline (%v): scale %d, %d ranks\n", m, scale, procs)
+		fmt.Printf("  filtered nonzeros:  %d\n", res.NNZ)
+		fmt.Printf("  all-reduce calls:   %d (%.3g MB)\n", res.Comm.AllReduceCalls, float64(res.Comm.AllReduceBytes)/1e6)
+		fmt.Printf("  broadcast calls:    %d (%.3g MB)\n", res.Comm.BroadcastCalls, float64(res.Comm.BroadcastBytes)/1e6)
+		predicted := dist.PredictedCommBytes(int(kcfg.N()), procs, res.Iterations, dangling)
+		fmt.Printf("  predicted comm:     %.3g MB\n", float64(predicted)/1e6)
+		if res.RankSeconds != nil {
+			slowest := 0.0
+			for _, s := range res.RankSeconds {
+				if s > slowest {
+					slowest = s
+				}
+			}
+			fmt.Printf("  slowest rank:       %.4fs (of %d concurrent ranks)\n", slowest, len(res.RankSeconds))
+		}
+		if first == nil {
+			first = res
+		} else {
+			if first.Comm != res.Comm {
+				return fmt.Errorf("mode cross-check failed: comm records differ: %+v vs %+v", first.Comm, res.Comm)
+			}
+			for i := range first.Rank {
+				if first.Rank[i] != res.Rank[i] {
+					return fmt.Errorf("mode cross-check failed: rank vectors differ at %d", i)
+				}
+			}
+			fmt.Println("  cross-check:        sim and goroutine modes agree bit-for-bit, bytes included")
+		}
+	}
+	return nil
+}
+
+// runProcSweep runs the goroutine-rank pipeline at each requested rank
+// count and tabulates wall-clock scaling next to the hardware model's
+// predicted speedup, asserting the byte identity at every p.
+func runProcSweep(scale, edgeFactor int, seed uint64, sweep string, iterations int, damping float64, dangling bool, format string) error {
+	var ps []int
+	for _, f := range strings.Split(sweep, ",") {
+		var p int
+		if _, err := fmt.Sscanf(strings.TrimSpace(f), "%d", &p); err != nil || p < 1 {
+			return fmt.Errorf("bad -procsweep entry %q", f)
+		}
+		ps = append(ps, p)
+	}
+	kcfg := kronecker.New(scale, seed)
+	kcfg.EdgeFactor = edgeFactor
+	l, err := kronecker.Generate(kcfg)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("distributed pipeline: scale %d, %d processors\n", scale, procs)
-	fmt.Printf("  filtered nonzeros:  %d\n", res.NNZ)
-	fmt.Printf("  all-reduce calls:   %d (%.3g MB)\n", res.Comm.AllReduceCalls, float64(res.Comm.AllReduceBytes)/1e6)
-	fmt.Printf("  broadcast calls:    %d (%.3g MB)\n", res.Comm.BroadcastCalls, float64(res.Comm.BroadcastBytes)/1e6)
-	predicted := dist.PredictedCommBytes(int(kcfg.N()), procs, iterations, dangling)
-	fmt.Printf("  predicted comm:     %.3g MB\n", float64(predicted)/1e6)
+	n := int(kcfg.N())
+	h := perfmodel.PaperNode()
+	w := perfmodel.Workload{Scale: scale, EdgeFactor: edgeFactor, Iterations: iterations}
+	t := results.NewTable(
+		fmt.Sprintf("Goroutine-rank scaling: scale %d, %d iterations", scale, iterations),
+		"ranks", "slowest rank s", "speedup", "model speedup", "imbalance", "comm MB", "bytes=model")
+	base := 0.0
+	for _, p := range ps {
+		opt := pagerank.Options{Iterations: iterations, Damping: damping, Dangling: dangling, Seed: seed}
+		res, err := dist.RunMode(dist.ExecGoroutine, l, n, p, opt)
+		if err != nil {
+			return err
+		}
+		cmp, err := perfmodel.CompareRankElapsed(h, w, res.RankSeconds)
+		if err != nil {
+			return err
+		}
+		if base == 0 {
+			base = cmp.MeasuredSeconds
+		}
+		measured := res.Comm.AllReduceBytes + res.Comm.BroadcastBytes
+		exact := measured == dist.PredictedCommBytes(n, p, res.Iterations, dangling)
+		t.AddRow(fmt.Sprintf("%d", p),
+			fmt.Sprintf("%.4f", cmp.MeasuredSeconds),
+			fmt.Sprintf("%.2f", base/cmp.MeasuredSeconds),
+			fmt.Sprintf("%.2f", perfmodel.Speedup(h, w, p)),
+			fmt.Sprintf("%.2f", cmp.Imbalance),
+			fmt.Sprintf("%.3g", float64(measured)/1e6),
+			fmt.Sprintf("%v", exact))
+		if !exact {
+			return fmt.Errorf("p=%d: measured channel bytes diverge from PredictedCommBytes", p)
+		}
+	}
+	emit(t, format)
 	return nil
 }
 

@@ -1,8 +1,10 @@
 // Command prreport regenerates the paper's whole evaluation section in one
 // run: Table II, a figure sweep across all implementation variants, the
-// correctness-validation suite, the hardware-model predictions and the
-// distributed-simulation communication check, emitted as a single markdown
-// report.
+// correctness-validation suite, the hardware-model predictions, and the
+// distributed communication check — both execution modes cross-checked
+// bit-for-bit against each other and against the closed-form byte model,
+// plus a goroutine-rank wall-clock scaling table — emitted as a single
+// markdown report.
 //
 //	prreport -minscale 12 -maxscale 14 > report.md
 //
@@ -17,6 +19,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dist"
+	"repro/internal/edge"
 	"repro/internal/kronecker"
 	"repro/internal/pagerank"
 	"repro/internal/perfmodel"
@@ -122,27 +125,74 @@ func predictions() {
 }
 
 func distributed(seed uint64, procs int) {
-	fmt.Println("## Distributed simulation")
+	fmt.Println("## Distributed execution (simulated and goroutine ranks)")
 	fmt.Println()
 	kcfg := kronecker.New(12, seed)
 	l, err := kronecker.Generate(kcfg)
 	if err != nil {
 		fatal(err)
 	}
-	res, err := dist.Run(l, int(kcfg.N()), procs, pagerank.Options{Seed: seed})
+	n := int(kcfg.N())
+	sim, err := dist.RunMode(dist.ExecSim, l, n, procs, pagerank.Options{Seed: seed})
 	if err != nil {
 		fatal(err)
 	}
-	predicted := dist.PredictedCommBytes(int(kcfg.N()), procs, pagerank.DefaultIterations, false)
-	fmt.Printf("- processors: %d\n", procs)
-	fmt.Printf("- all-reduce calls: %d, broadcast calls: %d\n", res.Comm.AllReduceCalls, res.Comm.BroadcastCalls)
-	fmt.Printf("- measured communication: %d bytes\n", res.Comm.AllReduceBytes+res.Comm.BroadcastBytes)
-	fmt.Printf("- closed-form prediction: %d bytes (must match exactly)\n", predicted)
-	match := res.Comm.AllReduceBytes+res.Comm.BroadcastBytes == predicted
-	fmt.Printf("- match: %v\n\n", match)
-	if !match {
-		fatal(fmt.Errorf("measured communication diverges from the closed-form model"))
+	real, err := dist.RunMode(dist.ExecGoroutine, l, n, procs, pagerank.Options{Seed: seed})
+	if err != nil {
+		fatal(err)
 	}
+	predicted := dist.PredictedCommBytes(n, procs, pagerank.DefaultIterations, false)
+	fmt.Printf("- processors: %d\n", procs)
+	fmt.Printf("- all-reduce calls: %d, broadcast calls: %d\n", sim.Comm.AllReduceCalls, sim.Comm.BroadcastCalls)
+	fmt.Printf("- simulated communication: %d bytes\n", sim.Comm.AllReduceBytes+sim.Comm.BroadcastBytes)
+	fmt.Printf("- goroutine channel bytes: %d\n", real.Comm.AllReduceBytes+real.Comm.BroadcastBytes)
+	fmt.Printf("- closed-form prediction: %d bytes (all three must match exactly)\n", predicted)
+	match := sim.Comm == real.Comm && sim.Comm.AllReduceBytes+sim.Comm.BroadcastBytes == predicted
+	bitwise := len(sim.Rank) == len(real.Rank)
+	if bitwise {
+		for i := range sim.Rank {
+			if real.Rank[i] != sim.Rank[i] {
+				bitwise = false
+				break
+			}
+		}
+	}
+	fmt.Printf("- bytes match: %v, rank vectors bit-for-bit: %v\n\n", match, bitwise)
+	if !match || !bitwise {
+		fatal(fmt.Errorf("goroutine runtime diverges from the simulation or the closed-form model"))
+	}
+	scaling(l, n, seed)
+}
+
+// scaling tabulates the goroutine runtime's wall-clock across rank counts
+// against the parallel hardware model — the validation of the simulated
+// comm schedule against real concurrent execution.
+func scaling(l *edge.List, n int, seed uint64) {
+	fmt.Println("### Goroutine-rank wall-clock scaling")
+	fmt.Println()
+	h := perfmodel.PaperNode()
+	w := perfmodel.Workload{Scale: 12}
+	t := results.NewTable("", "Ranks", "Slowest rank s", "Speedup", "Model speedup", "Imbalance")
+	base := 0.0
+	for _, p := range []int{1, 2, 4, 8} {
+		res, err := dist.RunMode(dist.ExecGoroutine, l, n, p, pagerank.Options{Seed: seed})
+		if err != nil {
+			fatal(err)
+		}
+		cmp, err := perfmodel.CompareRankElapsed(h, w, res.RankSeconds)
+		if err != nil {
+			fatal(err)
+		}
+		if base == 0 {
+			base = cmp.MeasuredSeconds
+		}
+		t.AddRow(fmt.Sprintf("%d", p),
+			fmt.Sprintf("%.4f", cmp.MeasuredSeconds),
+			fmt.Sprintf("%.2f", base/cmp.MeasuredSeconds),
+			fmt.Sprintf("%.2f", perfmodel.Speedup(h, w, p)),
+			fmt.Sprintf("%.2f", cmp.Imbalance))
+	}
+	fmt.Println(t.Markdown())
 }
 
 func fatal(err error) {

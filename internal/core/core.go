@@ -85,10 +85,28 @@ func SizeTable(scales []int, edgeFactor, bytesPerEdge int) []pipeline.SizeRow {
 // PaperScales are the scales of the paper's evaluation (16–22).
 var PaperScales = pipeline.PaperScales
 
+// ExecMode selects the distributed runtime's execution: the
+// single-threaded simulation or the concurrent goroutine ranks.
+type ExecMode = dist.ExecMode
+
+// The distributed execution modes.
+const (
+	ExecSim       = dist.ExecSim
+	ExecGoroutine = dist.ExecGoroutine
+)
+
 // DistributedRun executes the simulated distributed kernel-2/kernel-3
 // pipeline over p processors.  See dist.Run.
 func DistributedRun(l *edge.List, n, p int, opt PageRankOptions) (*dist.Result, error) {
 	return dist.Run(l, n, p, opt)
+}
+
+// DistributedRunMode executes the distributed kernel-2/kernel-3 pipeline
+// in the given execution mode; ExecGoroutine runs p concurrent goroutine
+// ranks with real channel message passing and fills Result.RankSeconds.
+// See dist.RunMode.
+func DistributedRunMode(mode ExecMode, l *edge.List, n, p int, opt PageRankOptions) (*dist.Result, error) {
+	return dist.RunMode(mode, l, n, p, opt)
 }
 
 // PredictKernels returns the hardware-model predictions for all four

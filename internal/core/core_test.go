@@ -79,3 +79,39 @@ func TestNewDirFSFacade(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestDistributedRunModeFacade(t *testing.T) {
+	l, err := kronecker.Generate(kronecker.New(7, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := pagerank.Options{Seed: 1, Iterations: 4}
+	sim, err := DistributedRunMode(ExecSim, l, 1<<7, 3, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	real, err := DistributedRunMode(ExecGoroutine, l, 1<<7, 3, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range sim.Rank {
+		if real.Rank[i] != sim.Rank[i] {
+			t.Fatalf("mode results differ at %d", i)
+		}
+	}
+	if real.Comm != sim.Comm {
+		t.Errorf("mode comm records differ: %+v vs %+v", real.Comm, sim.Comm)
+	}
+	if len(real.RankSeconds) != 3 {
+		t.Errorf("goroutine mode reported %d rank times", len(real.RankSeconds))
+	}
+}
+
+func TestConfigDistModeValidated(t *testing.T) {
+	if err := (Config{Scale: 6, DistMode: "mpi"}).Validate(); err == nil {
+		t.Error("unknown DistMode accepted")
+	}
+	if err := (Config{Scale: 6, Variant: "distgo", DistMode: "sim"}).Validate(); err != nil {
+		t.Errorf("valid DistMode rejected: %v", err)
+	}
+}

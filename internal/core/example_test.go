@@ -36,8 +36,8 @@ func ExampleSizeTable() {
 }
 
 // ExampleVariants lists the implementation variants: the six serial
-// analogues of the paper's language implementations plus the simulated
-// distributed runtime.
+// analogues of the paper's language implementations plus the two
+// distributed runtimes (simulated and goroutine ranks).
 func ExampleVariants() {
 	for _, v := range core.Variants() {
 		fmt.Println(v)
@@ -47,6 +47,7 @@ func ExampleVariants() {
 	// coo
 	// csr
 	// dist
+	// distgo
 	// extsort
 	// graphblas
 	// parallel

@@ -1,0 +1,246 @@
+package dist
+
+// The goroutine fabric: typed point-to-point channels between p concurrent
+// ranks, and the collective layer built on them.  This is the real
+// counterpart of the simulated comm in dist.go; DESIGN.md §5 is the
+// normative statement of the contract implemented here.
+//
+// Message-passing contract (summary of DESIGN.md §5):
+//
+//   - Every (src, dst) rank pair has a dedicated buffered channel, so the
+//     fabric delivers messages per-link FIFO, reliably, exactly once.
+//     There is no global ordering between links.
+//   - Collectives are bulk-synchronous and rooted at rank 0: a reduction
+//     receives contributions in ascending rank order and combines them in
+//     that order, which pins the floating-point association to the
+//     simulation's (rank-ordered) sum — the source of the bit-for-bit
+//     equality between the two runtimes.
+//   - Every rank executes the same schedule of collectives in the same
+//     program order; sends within a collective precede receives.  Link
+//     buffering (linkBuf) covers the bounded number of sends a rank can
+//     issue before its next synchronizing receive, so the schedule cannot
+//     deadlock.
+//   - Payload slices are copied at the sender (or ownership is handed
+//     over, for the edge exchange whose outboxes the sender never touches
+//     again); ranks share no mutable state through messages.
+//   - Byte accounting is sender-side: each rank meters the payload bytes
+//     it puts on the wire, using the same wire-cost formulas as the
+//     simulation (dist.go), and the driver sums the per-rank records.
+//     Measured channel bytes therefore equal the simulation's metered
+//     bytes and PredictedCommBytes identically.
+
+import (
+	"fmt"
+
+	"repro/internal/edge"
+)
+
+// linkBuf is the per-link channel capacity.  Two sends is the most any
+// rank issues on one link before a synchronizing receive (the kernel-2
+// edge outbox followed by the matrix-mass contribution); the slack above
+// that only loosens the lockstep, it is not needed for liveness.
+const linkBuf = 4
+
+// fabric is the message plane of one goroutine run: p² dedicated links.
+type fabric struct {
+	p     int
+	links []chan any // links[src*p+dst]
+}
+
+func newFabric(p int) *fabric {
+	f := &fabric{p: p, links: make([]chan any, p*p)}
+	for i := range f.links {
+		f.links[i] = make(chan any, linkBuf)
+	}
+	return f
+}
+
+// comm returns rank r's handle on the fabric.
+func (f *fabric) comm(r int) *rankComm { return &rankComm{f: f, rank: r} }
+
+// rankComm is one rank's view of the fabric: its identity, its send
+// endpoints, and its private communication record (summed by the driver
+// after the ranks join, so no counter is shared between goroutines).
+type rankComm struct {
+	f    *fabric
+	rank int
+	st   CommStats
+}
+
+func (c *rankComm) procs() int { return c.f.p }
+
+// send delivers m to dst's inbound link from this rank.
+func (c *rankComm) send(dst int, m any) { c.f.links[c.rank*c.f.p+dst] <- m }
+
+// recv takes the next message on the link from src.
+func (c *rankComm) recv(src int) any { return <-c.f.links[src*c.f.p+c.rank] }
+
+// recvFloats takes the next message from src, which the schedule
+// guarantees is a float64 vector; a mismatch is a protocol bug.
+func (c *rankComm) recvFloats(src int) []float64 {
+	v, ok := c.recv(src).([]float64)
+	if !ok {
+		panic(fmt.Sprintf("dist: rank %d expected []float64 from rank %d", c.rank, src))
+	}
+	return v
+}
+
+func (c *rankComm) recvKeys(src int) []uint64 {
+	v, ok := c.recv(src).([]uint64)
+	if !ok {
+		panic(fmt.Sprintf("dist: rank %d expected []uint64 from rank %d", c.rank, src))
+	}
+	return v
+}
+
+func (c *rankComm) recvScalar(src int) float64 {
+	v, ok := c.recv(src).(float64)
+	if !ok {
+		panic(fmt.Sprintf("dist: rank %d expected float64 from rank %d", c.rank, src))
+	}
+	return v
+}
+
+func (c *rankComm) recvEdges(src int) *edge.List {
+	v, ok := c.recv(src).(*edge.List)
+	if !ok {
+		panic(fmt.Sprintf("dist: rank %d expected *edge.List from rank %d", c.rank, src))
+	}
+	return v
+}
+
+// allReduceSum leaves the rank-ordered global sum of the ranks' partial
+// vectors in vec on every rank: non-roots send their partial to rank 0,
+// the root accumulates the contributions in ascending rank order (its own
+// partial first — the association the simulation uses), then redistributes
+// the result.  Wire volume is 2·8·len·(p-1), charged half to the gathering
+// senders and half to the root's redistribution.
+func (c *rankComm) allReduceSum(vec []float64) {
+	p := c.procs()
+	if p == 1 {
+		return
+	}
+	if c.rank == 0 {
+		c.st.AllReduceCalls++
+		for src := 1; src < p; src++ {
+			for i, v := range c.recvFloats(src) {
+				vec[i] += v
+			}
+		}
+		for dst := 1; dst < p; dst++ {
+			c.send(dst, append([]float64(nil), vec...))
+			c.st.AllReduceBytes += floatWireBytes * uint64(len(vec))
+		}
+	} else {
+		c.send(0, append([]float64(nil), vec...))
+		c.st.AllReduceBytes += floatWireBytes * uint64(len(vec))
+		copy(vec, c.recvFloats(0))
+	}
+}
+
+// allReduceScalar is allReduceSum for a single float64 contribution.
+func (c *rankComm) allReduceScalar(v float64) float64 {
+	p := c.procs()
+	if p == 1 {
+		return v
+	}
+	if c.rank == 0 {
+		c.st.AllReduceCalls++
+		for src := 1; src < p; src++ {
+			v += c.recvScalar(src)
+		}
+		for dst := 1; dst < p; dst++ {
+			c.send(dst, v)
+			c.st.AllReduceBytes += floatWireBytes
+		}
+		return v
+	}
+	c.send(0, v)
+	c.st.AllReduceBytes += floatWireBytes
+	return c.recvScalar(0)
+}
+
+// broadcastFloats ships rank 0's vector to every rank and returns each
+// rank's private replica (the root's own argument on rank 0).  Non-roots
+// pass nil.
+func (c *rankComm) broadcastFloats(vec []float64) []float64 {
+	p := c.procs()
+	if p == 1 {
+		return vec
+	}
+	if c.rank == 0 {
+		c.st.BroadcastCalls++
+		for dst := 1; dst < p; dst++ {
+			c.send(dst, append([]float64(nil), vec...))
+			c.st.BroadcastBytes += floatWireBytes * uint64(len(vec))
+		}
+		return vec
+	}
+	return c.recvFloats(0)
+}
+
+// broadcastKeys ships rank 0's key slice (the sort's splitters) to every
+// rank; non-roots pass nil.
+func (c *rankComm) broadcastKeys(keys []uint64) []uint64 {
+	p := c.procs()
+	if p == 1 {
+		return keys
+	}
+	if c.rank == 0 {
+		c.st.BroadcastCalls++
+		for dst := 1; dst < p; dst++ {
+			c.send(dst, append([]uint64(nil), keys...))
+			c.st.BroadcastBytes += keyWireBytes * uint64(len(keys))
+		}
+		return keys
+	}
+	return c.recvKeys(0)
+}
+
+// gatherKeys collects every rank's key slice at rank 0 in ascending rank
+// order (the sort's sample gather); non-roots get nil back.  Like the
+// simulation, the personalized sends are metered as all-to-all traffic.
+func (c *rankComm) gatherKeys(keys []uint64) [][]uint64 {
+	p := c.procs()
+	if p == 1 {
+		return [][]uint64{keys}
+	}
+	if c.rank == 0 {
+		all := make([][]uint64, p)
+		all[0] = keys
+		for src := 1; src < p; src++ {
+			all[src] = c.recvKeys(src)
+		}
+		return all
+	}
+	c.send(0, append([]uint64(nil), keys...))
+	c.st.AllToAllBytes += keyWireBytes * uint64(len(keys))
+	return nil
+}
+
+// exchangeEdges performs the personalized all-to-all of kernel 1's bucket
+// exchange and kernel 2's edge routing: out[d] is this rank's outbox for
+// rank d.  It returns the p inbound lists in ascending source order (the
+// self outbox in place), which is what keeps every destination's edge
+// stream in global input order — the stability invariant both kernels
+// rely on.  Outbox ownership transfers to the receiver; only off-rank
+// edges are metered, at edgeWireBytes each.
+func (c *rankComm) exchangeEdges(out []*edge.List) []*edge.List {
+	p := c.procs()
+	in := make([]*edge.List, p)
+	in[c.rank] = out[c.rank]
+	for dst := 0; dst < p; dst++ {
+		if dst == c.rank {
+			continue
+		}
+		c.send(dst, out[dst])
+		c.st.AllToAllBytes += edgeWireBytes * uint64(out[dst].Len())
+	}
+	for src := 0; src < p; src++ {
+		if src == c.rank {
+			continue
+		}
+		in[src] = c.recvEdges(src)
+	}
+	return in
+}

@@ -1,20 +1,3 @@
-// Package dist is a simulated distributed-memory runtime for the PageRank
-// pipeline benchmark: it executes kernels 1-3 over p virtual processors
-// with exact communication accounting, reproducing the parallel analysis
-// of the paper's §V (distributed sample sort for kernel 1, 1D row-block
-// decomposition with a rank-vector all-reduce per iteration for kernel 3).
-//
-// Every virtual processor owns a contiguous block of rows (vertices) and a
-// contiguous chunk of the input edge list.  Data crossing processor
-// boundaries is metered by the collective layer below; the closed-form
-// model PredictedCommBytes reproduces the collective volume exactly, byte
-// for byte, which the prreport command asserts.
-//
-// The simulation is deterministic and single-threaded: results are
-// bit-for-bit independent of p for kernel 1 (Sort equals the serial stable
-// radix sort exactly) and match the serial kernel-3 engines to ~1e-12 for
-// every p (floating-point sums re-associate across rank boundaries, which
-// is the only source of deviation).
 package dist
 
 // CommStats records the communication volume of a distributed run, broken
@@ -24,6 +7,12 @@ package dist
 // and all-to-all counts every byte that leaves its source processor.
 // A single processor communicates nothing: at p = 1 every collective is
 // a local no-op and the whole record stays zero, for Sort and Run alike.
+//
+// Both execution modes fill the same record: the simulation meters the
+// formulas below, the goroutine runtime counts the payload bytes actually
+// sent over its channels — and the two are equal by construction, because
+// the fabric's collectives (collective.go) move exactly the bytes the
+// formulas price (DESIGN.md §5).
 type CommStats struct {
 	// AllToAllBytes is the personalized-exchange volume: edge data (and
 	// sort samples) routed between distinct processors.
@@ -40,8 +29,42 @@ type CommStats struct {
 	BroadcastBytes uint64
 }
 
-// comm is the collective layer shared by Sort and Run: it performs the
-// actual data movement between virtual processors and meters every byte.
+// add accumulates another record (used to total per-rank records of the
+// goroutine runtime; byte counts are sender-side, so the sum is the wire
+// total).
+func (s *CommStats) add(o CommStats) {
+	s.AllToAllBytes += o.AllToAllBytes
+	s.AllReduceCalls += o.AllReduceCalls
+	s.AllReduceBytes += o.AllReduceBytes
+	s.BroadcastCalls += o.BroadcastCalls
+	s.BroadcastBytes += o.BroadcastBytes
+}
+
+// Wire-cost formulas of the linear model, shared verbatim by the simulated
+// collective layer (comm, below), the goroutine fabric (collective.go) and
+// the closed form (PredictedCommBytes): every byte count in the package is
+// derived here, which is what makes "measured equals predicted" an
+// identity rather than an approximation.
+const (
+	// floatWireBytes is the wire size of one float64 element.
+	floatWireBytes = 8
+	// keyWireBytes is the wire size of one uint64 sort key.
+	keyWireBytes = 8
+	// edgeWireBytes is the wire size of one routed edge (two uint64
+	// endpoints).
+	edgeWireBytes = 16
+)
+
+// broadcastWire prices a one-to-all of payload bytes on p processors.
+func broadcastWire(payload uint64, p int) uint64 { return payload * uint64(p-1) }
+
+// allReduceWire prices an all-reduce of payload bytes on p processors:
+// a gather to the root plus a redistribution, each payload·(p-1).
+func allReduceWire(payload uint64, p int) uint64 { return 2 * payload * uint64(p-1) }
+
+// comm is the simulated collective layer shared by Sort and Run: it
+// performs the data movement between simulated processors in one address
+// space and meters every byte the wire-cost formulas price.
 type comm struct {
 	p  int
 	st CommStats
@@ -50,7 +73,7 @@ type comm struct {
 // allReduceSum element-wise sums the processors' equal-length partial
 // vectors into out, leaving the reduced vector replicated on every rank
 // (in the simulation, shared).  Partials are combined in rank order, the
-// same association a rooted reduction tree walked in rank order produces.
+// same association the goroutine fabric's rooted reduction produces.
 func (c *comm) allReduceSum(out []float64, partials [][]float64) {
 	for i := range out {
 		out[i] = 0
@@ -62,7 +85,7 @@ func (c *comm) allReduceSum(out []float64, partials [][]float64) {
 	}
 	if c.p > 1 {
 		c.st.AllReduceCalls++
-		c.st.AllReduceBytes += 2 * 8 * uint64(len(out)) * uint64(c.p-1)
+		c.st.AllReduceBytes += allReduceWire(floatWireBytes*uint64(len(out)), c.p)
 	}
 }
 
@@ -74,7 +97,7 @@ func (c *comm) allReduceScalar(parts []float64) float64 {
 	}
 	if c.p > 1 {
 		c.st.AllReduceCalls++
-		c.st.AllReduceBytes += 2 * 8 * uint64(c.p-1)
+		c.st.AllReduceBytes += allReduceWire(floatWireBytes, c.p)
 	}
 	return s
 }
@@ -85,7 +108,7 @@ func (c *comm) allReduceScalar(parts []float64) float64 {
 func (c *comm) broadcastFloats(n int) {
 	if c.p > 1 {
 		c.st.BroadcastCalls++
-		c.st.BroadcastBytes += 8 * uint64(n) * uint64(c.p-1)
+		c.st.BroadcastBytes += broadcastWire(floatWireBytes*uint64(n), c.p)
 	}
 }
 
@@ -94,7 +117,7 @@ func (c *comm) broadcastFloats(n int) {
 func (c *comm) broadcastKeys(keys []uint64) []uint64 {
 	if c.p > 1 {
 		c.st.BroadcastCalls++
-		c.st.BroadcastBytes += 8 * uint64(len(keys)) * uint64(c.p-1)
+		c.st.BroadcastBytes += broadcastWire(keyWireBytes*uint64(len(keys)), c.p)
 	}
 	return keys
 }
@@ -134,22 +157,23 @@ func blockOwner(n, p int, i int) int {
 //	per iteration, dangling-mass scalar:  2·8·(p-1)  if dangling
 //
 // The model equals the measured Comm.AllReduceBytes + Comm.BroadcastBytes
-// of Run exactly — not approximately — because both are derived from the
-// same collective schedule; prreport asserts the equality on every run.
-// All-to-all edge routing is excluded: it belongs to kernel 1's cost
-// (see perfmodel.ParallelKernel1) and depends on the data, not just n.
+// of Run and RunMode exactly — not approximately — because simulation,
+// goroutine fabric and closed form are all derived from the same
+// collective schedule and wire-cost formulas; prreport asserts the
+// equality on every run.  All-to-all edge routing is excluded: it belongs
+// to kernel 1's cost (see perfmodel.ParallelKernel1) and depends on the
+// data, not just n.
 func PredictedCommBytes(n, p, iterations int, dangling bool) uint64 {
 	if p <= 1 {
 		return 0
 	}
-	links := uint64(p - 1)
-	vec := 8 * uint64(n)
-	total := vec * links         // initial rank-vector broadcast
-	total += 2 * vec * links     // in-degree all-reduce (filter)
-	total += 2 * 2 * 8 * links   // matrix-mass and NNZ scalar all-reduces
-	perIter := 2 * vec * links   // rank-vector product all-reduce
+	vec := floatWireBytes * uint64(n)
+	total := broadcastWire(vec, p)                // initial rank-vector broadcast
+	total += allReduceWire(vec, p)                // in-degree all-reduce (filter)
+	total += 2 * allReduceWire(floatWireBytes, p) // matrix-mass and NNZ scalars
+	perIter := allReduceWire(vec, p)              // rank-vector product all-reduce
 	if dangling {
-		perIter += 2 * 8 * links // dangling-mass scalar all-reduce
+		perIter += allReduceWire(floatWireBytes, p) // dangling-mass scalar
 	}
 	return total + uint64(iterations)*perIter
 }

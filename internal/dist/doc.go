@@ -1,0 +1,31 @@
+// Package dist is the distributed-memory runtime of the PageRank pipeline
+// benchmark: it executes kernels 1-3 over p processor ranks with exact
+// communication accounting, reproducing the parallel analysis of the
+// paper's §V (distributed sample sort for kernel 1, 1D row-block
+// decomposition with a rank-vector all-reduce per iteration for kernel 3).
+//
+// Every rank owns a contiguous block of rows (vertices), stored
+// block-locally as a rectangular CSR (hi-lo+1 row pointers, not n+1), and
+// a contiguous chunk of the input edge list.  Data crossing rank
+// boundaries is metered by the collective layer; the closed-form model
+// PredictedCommBytes reproduces the collective volume exactly, byte for
+// byte, which the prreport command asserts.
+//
+// The same schedule runs in two execution modes (ExecMode):
+//
+//   - ExecSim (Run, Sort, BuildFiltered, RunMatrix) simulates the p ranks
+//     single-threadedly in one address space: deterministic, no copying,
+//     only the wire volume is recorded.
+//   - ExecGoroutine (RunMode, SortMode, ... with ExecGoroutine) runs p
+//     concurrent goroutine ranks that exchange real messages over typed
+//     channels, counting the payload bytes actually sent.
+//
+// Because both modes execute the same schedule from the same shared steps
+// and wire-cost formulas (DESIGN.md §5 documents the contract), their
+// results are bit-for-bit identical and their CommStats are equal — to
+// each other and to PredictedCommBytes.  Relative to the serial engines,
+// kernel 1's output equals the serial stable radix sort exactly for every
+// p, kernel 2's assembled matrix is bit-for-bit the serial kernel-2
+// output, and kernel 3 matches the serial engines to ~1e-12 (floating-
+// point sums re-associate across rank boundaries, the only deviation).
+package dist

@@ -1,0 +1,362 @@
+package dist
+
+// The goroutine-rank runtime: p concurrent goroutines, one per rank, each
+// owning its rectangular block of the matrix and communicating only
+// through the typed channel fabric of collective.go.  Every rank executes
+// the same program — the schedule the simulation (run.go, sort.go) walks
+// globally — built from the same shared steps: routeChunk/buildBlock/
+// filterBlock for kernel 2, sampleChunk/chooseSplitters/destRank for
+// kernel 1, and pagerank.RunCustom for the kernel-3 update.  DESIGN.md §5
+// specifies the contract; the property tests in rank_test.go pin the
+// bit-for-bit result equality and the byte-count identity between the two
+// runtimes and the closed form.
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/edge"
+	"repro/internal/pagerank"
+	"repro/internal/sparse"
+	"repro/internal/xsort"
+)
+
+// ExecMode selects how the distributed runtime executes its p ranks.
+type ExecMode int
+
+const (
+	// ExecSim is the single-threaded simulation: exact metering, no
+	// concurrency, results independent of the host (the default).
+	ExecSim ExecMode = iota
+	// ExecGoroutine runs p concurrent goroutine ranks exchanging real
+	// messages over channels; results and byte counts equal ExecSim's
+	// bit for bit, and wall clock scales with the host's cores.
+	ExecGoroutine
+)
+
+// String implements fmt.Stringer.
+func (m ExecMode) String() string {
+	switch m {
+	case ExecSim:
+		return "sim"
+	case ExecGoroutine:
+		return "goroutine"
+	default:
+		return fmt.Sprintf("mode?(%d)", int(m))
+	}
+}
+
+// ParseExecMode resolves the command-line spelling of a mode; the empty
+// string selects the simulation.
+func ParseExecMode(s string) (ExecMode, error) {
+	switch s {
+	case "", "sim":
+		return ExecSim, nil
+	case "goroutine", "go":
+		return ExecGoroutine, nil
+	default:
+		return 0, fmt.Errorf("dist: unknown execution mode %q (want sim or goroutine)", s)
+	}
+}
+
+// RunMode executes the distributed kernel-2/kernel-3 pipeline in the given
+// execution mode.  Both modes produce bit-for-bit identical Rank vectors
+// and identical CommStats; ExecGoroutine additionally fills RankSeconds.
+func RunMode(mode ExecMode, l *edge.List, n, p int, opt pagerank.Options) (*Result, error) {
+	switch mode {
+	case ExecSim:
+		return Run(l, n, p, opt)
+	case ExecGoroutine:
+		return runGoroutine(l, n, p, opt)
+	default:
+		return nil, fmt.Errorf("dist: unknown execution mode %v", mode)
+	}
+}
+
+// SortMode executes the distributed sample sort in the given mode.
+func SortMode(mode ExecMode, l *edge.List, p int) (*SortResult, error) {
+	switch mode {
+	case ExecSim:
+		return Sort(l, p)
+	case ExecGoroutine:
+		return sortGoroutine(l, p)
+	default:
+		return nil, fmt.Errorf("dist: unknown execution mode %v", mode)
+	}
+}
+
+// BuildFilteredMode executes the distributed kernel 2 in the given mode.
+func BuildFilteredMode(mode ExecMode, l *edge.List, n, p int) (*BuildResult, error) {
+	switch mode {
+	case ExecSim:
+		return BuildFiltered(l, n, p)
+	case ExecGoroutine:
+		return buildFilteredGoroutine(l, n, p)
+	default:
+		return nil, fmt.Errorf("dist: unknown execution mode %v", mode)
+	}
+}
+
+// RunMatrixMode executes the distributed kernel-3 iteration on a built
+// matrix in the given mode.
+func RunMatrixMode(mode ExecMode, a *sparse.CSR, p int, opt pagerank.Options) (*Result, error) {
+	switch mode {
+	case ExecSim:
+		return RunMatrix(a, p, opt)
+	case ExecGoroutine:
+		if a == nil {
+			return nil, fmt.Errorf("dist: RunMatrix of nil matrix")
+		}
+		if p < 1 {
+			return nil, fmt.Errorf("dist: RunMatrix with p = %d, want >= 1", p)
+		}
+		states := splitMatrix(a, p)
+		out, err := spawnRanks(p, func(c *rankComm) rankOutcome {
+			rank, iters, err := iterateRank(c, states[c.rank], a.N, opt)
+			return rankOutcome{rank: rank, iters: iters, err: err}
+		})
+		if err != nil {
+			return nil, err
+		}
+		out.result.NNZ = a.NNZ()
+		return out.result, nil
+	default:
+		return nil, fmt.Errorf("dist: unknown execution mode %v", mode)
+	}
+}
+
+// rankOutcome is what one rank's program hands back to the driver.
+type rankOutcome struct {
+	// st is the rank's built state (kernel-2 programs only).
+	st *rankState
+	// rank is the final replicated rank vector; the driver reports rank
+	// 0's copy (all replicas are byte-identical).
+	rank []float64
+	// iters is the performed iteration count.
+	iters int
+	// mass and nnz are the globally reduced kernel-2 scalars (identical
+	// on every rank after their all-reduces).
+	mass float64
+	nnz  int
+	// edges is the rank's sorted bucket (sort program only).
+	edges *edge.List
+	// err is a per-rank failure; the schedule guarantees option errors
+	// surface identically on every rank before any collective, so no rank
+	// can strand another inside one.
+	err error
+}
+
+// joined collects the per-rank outcomes plus the summed communication
+// record.
+type joined struct {
+	outcomes []rankOutcome
+	result   *Result
+}
+
+// spawnRanks runs the rank program on p concurrent goroutines over a
+// fresh fabric, joins them, and folds the per-rank communication records
+// and wall-clock times into a Result skeleton.
+func spawnRanks(p int, program func(c *rankComm) rankOutcome) (*joined, error) {
+	f := newFabric(p)
+	comms := make([]*rankComm, p)
+	outcomes := make([]rankOutcome, p)
+	seconds := make([]float64, p)
+	var wg sync.WaitGroup
+	for r := 0; r < p; r++ {
+		comms[r] = f.comm(r)
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			start := time.Now()
+			outcomes[r] = program(comms[r])
+			seconds[r] = time.Since(start).Seconds()
+		}(r)
+	}
+	wg.Wait()
+	for r := 0; r < p; r++ {
+		if outcomes[r].err != nil {
+			return nil, outcomes[r].err
+		}
+	}
+	res := &Result{
+		Rank:        outcomes[0].rank,
+		Iterations:  outcomes[0].iters,
+		NNZ:         outcomes[0].nnz,
+		RankSeconds: seconds,
+	}
+	for r := 0; r < p; r++ {
+		res.Comm.add(comms[r].st)
+	}
+	return &joined{outcomes: outcomes, result: res}, nil
+}
+
+// runGoroutine is the concurrent execution of Run's schedule.
+func runGoroutine(l *edge.List, n, p int, opt pagerank.Options) (*Result, error) {
+	if err := validateRun(l, n, p); err != nil {
+		return nil, err
+	}
+	out, err := spawnRanks(p, func(c *rankComm) rankOutcome {
+		st, mass, nnz := buildRank(c, l, n)
+		rank, iters, err := iterateRank(c, st, n, opt)
+		return rankOutcome{st: st, rank: rank, iters: iters, mass: mass, nnz: nnz, err: err}
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out.result, nil
+}
+
+// buildFilteredGoroutine is the concurrent execution of BuildFiltered's
+// schedule; the driver assembles the global matrix from the joined blocks.
+func buildFilteredGoroutine(l *edge.List, n, p int) (*BuildResult, error) {
+	if err := validateRun(l, n, p); err != nil {
+		return nil, err
+	}
+	out, err := spawnRanks(p, func(c *rankComm) rankOutcome {
+		st, mass, nnz := buildRank(c, l, n)
+		return rankOutcome{st: st, mass: mass, nnz: nnz}
+	})
+	if err != nil {
+		return nil, err
+	}
+	states := make([]*rankState, p)
+	for r := range states {
+		states[r] = out.outcomes[r].st
+	}
+	return &BuildResult{
+		Matrix: assemble(states, n),
+		Mass:   out.outcomes[0].mass,
+		NNZ:    out.outcomes[0].nnz,
+		Comm:   out.result.Comm,
+	}, nil
+}
+
+// buildRank is one rank's kernel-2 program: route the owned input chunk,
+// exchange edges all-to-all, build the block-local counting matrix, and
+// apply the global filter through the in-degree all-reduce.  Inputs were
+// validated by the driver, so the program cannot fail mid-collective.
+func buildRank(c *rankComm, l *edge.List, n int) (*rankState, float64, int) {
+	p := c.procs()
+	lo, hi := blockBounds(l.Len(), p, c.rank)
+	out := make([]*edge.List, p)
+	for d := range out {
+		out[d] = edge.NewList(0)
+	}
+	routeChunk(out, l, n, p, lo, hi)
+	in := c.exchangeEdges(out)
+	local := edge.NewList(0)
+	for _, part := range in {
+		local.AppendList(part)
+	}
+	rowLo, rowHi := blockBounds(n, p, c.rank)
+	blk, err := buildBlock(local, n, rowLo, rowHi)
+	if err != nil {
+		// Unreachable after validateRun; a failure here is a routing bug.
+		panic(err)
+	}
+	mass := c.allReduceScalar(blk.sumValues())
+	din := blk.inDegrees()
+	c.allReduceSum(din)
+	st := &rankState{blk: blk}
+	var localNNZ int
+	st.danglingRows, localNNZ = filterBlock(blk, din)
+	nnz := int(c.allReduceScalar(float64(localNNZ)))
+	return st, mass, nnz
+}
+
+// iterateRank is one rank's kernel-3 program: rank 0 materializes the
+// initial vector and broadcasts it, then every rank drives the shared
+// pagerank.RunCustom update on its private replica, with the step hook
+// computing the block-local partial product and all-reducing it, and the
+// dangling-mass hook all-reducing the owned dangling rows' mass.  Every
+// replica follows a byte-identical trajectory — the all-reduce hands all
+// ranks the root's rank-ordered sum — so rank 0's result is the global
+// result, equal to the simulation's bit for bit.
+func iterateRank(c *rankComm, st *rankState, n int, opt pagerank.Options) ([]float64, int, error) {
+	var r0 []float64
+	if c.rank == 0 {
+		if opt.InitialRank != nil {
+			r0 = opt.InitialRank
+		} else {
+			r0 = pagerank.InitVector(n, opt.Seed)
+		}
+	}
+	opt.InitialRank = c.broadcastFloats(r0) // RunCustom copies, not aliases
+	step := func(out, r []float64) {
+		st.blk.vxm(out, r)
+		c.allReduceSum(out)
+	}
+	dangleMass := func(r []float64) float64 {
+		return c.allReduceScalar(danglingMassOf(st, r))
+	}
+	res, err := pagerank.RunCustom(n, step, dangleMass, opt)
+	if err != nil {
+		return nil, 0, err
+	}
+	return res.Rank, res.Iterations, nil
+}
+
+// sortGoroutine is the concurrent execution of Sort's schedule; each rank
+// samples, routes and sorts its bucket, and the driver concatenates the
+// buckets in rank order (the unmetered "output stays distributed"
+// convention the simulation shares).
+func sortGoroutine(l *edge.List, p int) (*SortResult, error) {
+	if l == nil {
+		return nil, fmt.Errorf("dist: Sort of nil edge list")
+	}
+	if p < 1 {
+		return nil, fmt.Errorf("dist: Sort with p = %d, want >= 1", p)
+	}
+	m := l.Len()
+	if p == 1 || m == 0 {
+		out := l.Clone()
+		xsort.RadixByU(out)
+		return &SortResult{Sorted: out}, nil
+	}
+	out, err := spawnRanks(p, func(c *rankComm) rankOutcome {
+		return rankOutcome{edges: sortRank(c, l)}
+	})
+	if err != nil {
+		return nil, err
+	}
+	sorted := edge.NewList(m)
+	for _, o := range out.outcomes {
+		sorted.AppendList(o.edges)
+	}
+	return &SortResult{Sorted: sorted, Comm: out.result.Comm}, nil
+}
+
+// sortRank is one rank's sample-sort program: sample the owned chunk,
+// gather samples at rank 0, receive the broadcast splitters, exchange
+// edges by key range, and stably sort the resulting bucket.
+func sortRank(c *rankComm, l *edge.List) *edge.List {
+	p := c.procs()
+	m := l.Len()
+	lo, hi := blockBounds(m, p, c.rank)
+	all := c.gatherKeys(sampleChunk(l, lo, hi))
+	var splitters []uint64
+	if c.rank == 0 {
+		samples := make([]uint64, 0, p*SamplesPerRank)
+		for _, keys := range all {
+			samples = append(samples, keys...)
+		}
+		splitters = chooseSplitters(samples, p)
+	}
+	splitters = c.broadcastKeys(splitters)
+
+	out := make([]*edge.List, p)
+	for d := range out {
+		out[d] = edge.NewList(0)
+	}
+	for i := lo; i < hi; i++ {
+		out[destRank(splitters, l.U[i])].Append(l.U[i], l.V[i])
+	}
+	in := c.exchangeEdges(out)
+	bucket := edge.NewList((hi - lo) * 2)
+	for _, part := range in {
+		bucket.AppendList(part)
+	}
+	xsort.RadixByU(bucket)
+	return bucket
+}

@@ -1,14 +1,21 @@
 package dist
 
-// Distributed kernels 2 and 3: 1D row-block decomposition.  Each virtual
-// processor owns a contiguous block of rows of the adjacency matrix;
-// kernel 2 routes edges to the row owner, builds the local counting
-// matrix, all-reduces the in-degree vector to apply the paper's
-// super-node/leaf filter globally, and normalizes rows locally.  Kernel 3
-// keeps the rank vector replicated: every iteration each processor
-// computes the partial product of its row block and the partials are
-// summed by one all-reduce — the communication pattern whose closed form
-// the paper derives and PredictedCommBytes reproduces.
+// Distributed kernels 2 and 3: 1D row-block decomposition.  Each processor
+// owns a contiguous block of rows of the adjacency matrix; kernel 2 routes
+// edges to the row owner, builds the block-local counting matrix,
+// all-reduces the in-degree vector to apply the paper's super-node/leaf
+// filter globally, and normalizes rows locally.  Kernel 3 keeps the rank
+// vector replicated: every iteration each processor computes the partial
+// product of its row block and the partials are summed by one all-reduce —
+// the communication pattern whose closed form the paper derives and
+// PredictedCommBytes reproduces.
+//
+// This file is the simulated (single-threaded) execution of that schedule;
+// rank.go executes the identical schedule on p concurrent goroutine ranks
+// (DESIGN.md §5).  Both share the block type, the collective wire-cost
+// formulas in dist.go, and pagerank.RunCustom's update semantics, which is
+// what keeps their results bit-for-bit equal and their byte counts
+// identical.
 
 import (
 	"fmt"
@@ -28,6 +35,11 @@ type Result struct {
 	Comm CommStats
 	// Iterations is the number of PageRank update steps performed.
 	Iterations int
+	// RankSeconds is each rank's wall-clock execution time.  Only the
+	// goroutine runtime fills it (the simulation runs all ranks on one
+	// thread, where per-rank wall-clock is meaningless); perfmodel's
+	// CompareRankElapsed relates it to the parallel hardware model.
+	RankSeconds []float64
 }
 
 // BuildResult is the outcome of the distributed kernel 2 alone.
@@ -45,25 +57,23 @@ type BuildResult struct {
 	Comm CommStats
 }
 
-// rankState is one virtual processor's share of the matrix: the row block
-// [lo, hi) of a square n×n CSR whose rows outside the block are empty.
-// The square form duplicates O(n) row pointers per rank; the simulation's
-// footprint is O(p·n) regardless because of the p full-length partial
-// vectors the replicated-rank-vector model requires, so block-local
-// storage is deferred until a real multi-process runtime needs it (see
-// ROADMAP).
+// rankState is one processor's share of the matrix: the rectangular row
+// block (block-local CSR, hi-lo+1 row pointers) plus the owned dangling
+// rows.  Both runtimes use it; p ranks together hold n+p row pointers,
+// the footprint a real distributed memory forces.
 type rankState struct {
-	lo, hi int
-	a      *sparse.CSR
-	// danglingRows lists owned rows with zero out-degree after filtering.
+	blk *block
+	// danglingRows lists owned rows (global indices) with zero out-degree
+	// after filtering.
 	danglingRows []int
 }
 
-// Run executes the distributed kernel-2/kernel-3 pipeline over p virtual
+// Run executes the distributed kernel-2/kernel-3 pipeline over p simulated
 // processors: route edges by row owner, build and filter the distributed
 // matrix, then iterate PageRank with a metered all-reduce per step.  The
 // result matches pagerank.Scatter on the serially built and filtered
-// matrix to well under 1e-9 for every p.
+// matrix to well under 1e-9 for every p.  RunMode selects the concurrent
+// goroutine execution of the same schedule.
 func Run(l *edge.List, n, p int, opt pagerank.Options) (*Result, error) {
 	c := &comm{p: p}
 	states, _, nnz, err := buildFiltered(l, n, p, c)
@@ -97,7 +107,7 @@ func RunMatrix(a *sparse.CSR, p int, opt pagerank.Options) (*Result, error) {
 	return &Result{Rank: rank, NNZ: a.NNZ(), Comm: c.st, Iterations: iters}, nil
 }
 
-// BuildFiltered executes the distributed kernel 2 over p virtual
+// BuildFiltered executes the distributed kernel 2 over p simulated
 // processors and assembles the global filtered matrix from the row blocks.
 func BuildFiltered(l *edge.List, n, p int) (*BuildResult, error) {
 	c := &comm{p: p}
@@ -108,22 +118,73 @@ func BuildFiltered(l *edge.List, n, p int) (*BuildResult, error) {
 	return &BuildResult{Matrix: assemble(states, n), Mass: mass, NNZ: nnz, Comm: c.st}, nil
 }
 
-// buildFiltered routes edges, builds per-rank local matrices and applies
-// the kernel-2 filter with a global in-degree all-reduce.  The filter
-// semantics are exactly pipeline.ApplyKernel2Filter's — both derive the
-// column mask from sparse.Kernel2Mask:
+// validateRun checks the shared preconditions of both runtimes' kernel-2
+// entry points.  The goroutine runtime validates before spawning ranks so
+// a bad edge cannot strand the other ranks inside a collective.
+func validateRun(l *edge.List, n, p int) error {
+	if l == nil {
+		return fmt.Errorf("dist: nil edge list")
+	}
+	if n < 1 {
+		return fmt.Errorf("dist: n = %d, want >= 1", n)
+	}
+	if p < 1 {
+		return fmt.Errorf("dist: p = %d, want >= 1", p)
+	}
+	for i := 0; i < l.Len(); i++ {
+		if l.U[i] >= uint64(n) || l.V[i] >= uint64(n) {
+			return fmt.Errorf("dist: edge (%d,%d) out of range N=%d", l.U[i], l.V[i], n)
+		}
+	}
+	return nil
+}
+
+// routeChunk partitions one rank's input chunk [lo, hi) of the global edge
+// list by row owner, appending to the p per-destination lists — the local
+// half of the kernel-2 all-to-all, shared by both runtimes (the goroutine
+// ranks route into private outboxes, the simulation directly into the
+// global parts).  It returns the count routed to each destination, which
+// is what the simulation meters.
+func routeChunk(out []*edge.List, l *edge.List, n, p, lo, hi int) []int {
+	counts := make([]int, p)
+	for i := lo; i < hi; i++ {
+		d := blockOwner(n, p, int(l.U[i]))
+		out[d].Append(l.U[i], l.V[i])
+		counts[d]++
+	}
+	return counts
+}
+
+// filterBlock applies the kernel-2 filter to one rank's block given the
+// globally reduced in-degree vector, and returns the owned dangling rows
+// (global indices) and the local stored-entry count — the purely local
+// step between the in-degree all-reduce and the NNZ reduction, shared by
+// both runtimes.  The mask rule is sparse.Kernel2Mask, the same the serial
+// filter uses, which is what keeps the distributed filter bit-identical.
+func filterBlock(blk *block, din []float64) (dangling []int, nnz int) {
+	mask, _, _, _ := sparse.Kernel2Mask(din)
+	blk.zeroColumns(mask)
+	blk.compact()
+	dout := blk.outDegrees()
+	blk.scaleRows(dout)
+	for i, d := range dout {
+		if d == 0 {
+			dangling = append(dangling, blk.lo+i)
+		}
+	}
+	return dangling, blk.nnz()
+}
+
+// buildFiltered routes edges, builds per-rank block-local matrices and
+// applies the kernel-2 filter with a global in-degree all-reduce.  The
+// filter semantics are exactly pipeline.ApplyKernel2Filter's — both derive
+// the column mask from sparse.Kernel2Mask:
 //
 //	din = sum(A,1); zero columns with din == max(din) or din == 1;
 //	compact; divide each non-empty row by its out-degree.
 func buildFiltered(l *edge.List, n, p int, c *comm) ([]*rankState, float64, int, error) {
-	if l == nil {
-		return nil, 0, 0, fmt.Errorf("dist: nil edge list")
-	}
-	if n < 1 {
-		return nil, 0, 0, fmt.Errorf("dist: n = %d, want >= 1", n)
-	}
-	if p < 1 {
-		return nil, 0, 0, fmt.Errorf("dist: p = %d, want >= 1", p)
+	if err := validateRun(l, n, p); err != nil {
+		return nil, 0, 0, err
 	}
 
 	// Route edges to their row owner, scanning source chunks in rank
@@ -135,32 +196,26 @@ func buildFiltered(l *edge.List, n, p int, c *comm) ([]*rankState, float64, int,
 	m := l.Len()
 	for src := 0; src < p; src++ {
 		lo, hi := blockBounds(m, p, src)
-		for i := lo; i < hi; i++ {
-			u, v := l.U[i], l.V[i]
-			if u >= uint64(n) || v >= uint64(n) {
-				return nil, 0, 0, fmt.Errorf("dist: edge (%d,%d) out of range N=%d", u, v, n)
-			}
-			d := blockOwner(n, p, int(u))
-			parts[d].Append(u, v)
+		for d, cnt := range routeChunk(parts, l, n, p, lo, hi) {
 			if d != src {
-				c.st.AllToAllBytes += 16
+				c.st.AllToAllBytes += edgeWireBytes * uint64(cnt)
 			}
 		}
 	}
 
-	// Local counting-matrix builds (square n×n; only owned rows occupied).
+	// Local block builds: each rank holds only its owned rows.
 	states := make([]*rankState, p)
 	massParts := make([]float64, p)
 	partialDin := make([][]float64, p)
 	for r := 0; r < p; r++ {
 		lo, hi := blockBounds(n, p, r)
-		a, err := sparse.FromEdges(parts[r], n)
+		blk, err := buildBlock(parts[r], n, lo, hi)
 		if err != nil {
 			return nil, 0, 0, err
 		}
-		states[r] = &rankState{lo: lo, hi: hi, a: a}
-		massParts[r] = a.SumValues()
-		partialDin[r] = a.InDegrees()
+		states[r] = &rankState{blk: blk}
+		massParts[r] = blk.sumValues()
+		partialDin[r] = blk.inDegrees()
 	}
 	// The global matrix mass is a cross-rank scalar reduction (it feeds
 	// the paper's sum(A) == M check), so it is metered like one.
@@ -173,19 +228,11 @@ func buildFiltered(l *edge.List, n, p int, c *comm) ([]*rankState, float64, int,
 	// same mask the serial kernel 2 computes.
 	din := make([]float64, n)
 	c.allReduceSum(din, partialDin)
-	mask, _, _, _ := sparse.Kernel2Mask(din)
 	nnzParts := make([]float64, p)
 	for r, st := range states {
-		st.a.ZeroColumns(mask)
-		st.a.Compact()
-		dout := st.a.OutDegrees()
-		st.a.ScaleRows(dout)
-		for i := st.lo; i < st.hi; i++ {
-			if dout[i] == 0 {
-				st.danglingRows = append(st.danglingRows, i)
-			}
-		}
-		nnzParts[r] = float64(st.a.NNZ())
+		var local int
+		st.danglingRows, local = filterBlock(st.blk, din)
+		nnzParts[r] = float64(local)
 	}
 	// The global stored-entry count is likewise a metered scalar
 	// reduction; counts are integers, so the float64 sum is exact.
@@ -200,21 +247,7 @@ func splitMatrix(a *sparse.CSR, p int) []*rankState {
 	dout := a.OutDegrees()
 	for r := 0; r < p; r++ {
 		lo, hi := blockBounds(a.N, p, r)
-		loPtr, hiPtr := a.RowPtr[lo], a.RowPtr[hi]
-		rowPtr := make([]int64, a.N+1)
-		for i := 1; i <= a.N; i++ {
-			switch {
-			case i <= lo:
-				rowPtr[i] = 0
-			case i >= hi:
-				rowPtr[i] = hiPtr - loPtr
-			default:
-				rowPtr[i] = a.RowPtr[i] - loPtr
-			}
-		}
-		st := &rankState{lo: lo, hi: hi, a: &sparse.CSR{
-			N: a.N, RowPtr: rowPtr, Col: a.Col[loPtr:hiPtr], Val: a.Val[loPtr:hiPtr],
-		}}
+		st := &rankState{blk: blockOf(a, lo, hi)}
 		for i := lo; i < hi; i++ {
 			if dout[i] == 0 {
 				st.danglingRows = append(st.danglingRows, i)
@@ -225,32 +258,11 @@ func splitMatrix(a *sparse.CSR, p int) []*rankState {
 	return states
 }
 
-// vxm computes out = r·A for this processor's share: the scatter product
-// of sparse.CSR.VxM restricted to the owned row block [lo, hi), so the
-// row scan is bounded by the block instead of walking all n (empty) row
-// headers.  out is full length — contributions scatter to arbitrary
-// columns — and is zeroed first.
-func (st *rankState) vxm(out, r []float64) {
-	for i := range out {
-		out[i] = 0
-	}
-	a := st.a
-	for i := st.lo; i < st.hi; i++ {
-		ri := r[i]
-		if ri == 0 {
-			continue
-		}
-		for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
-			out[a.Col[k]] += ri * a.Val[k]
-		}
-	}
-}
-
 // assemble concatenates the disjoint row blocks back into one global CSR.
 func assemble(states []*rankState, n int) *sparse.CSR {
 	nnz := 0
 	for _, st := range states {
-		nnz += st.a.NNZ()
+		nnz += st.blk.nnz()
 	}
 	out := &sparse.CSR{
 		N:      n,
@@ -259,23 +271,29 @@ func assemble(states []*rankState, n int) *sparse.CSR {
 		Val:    make([]float64, 0, nnz),
 	}
 	for _, st := range states {
-		for i := st.lo; i < st.hi; i++ {
-			lo, hi := st.a.RowPtr[i], st.a.RowPtr[i+1]
-			out.Col = append(out.Col, st.a.Col[lo:hi]...)
-			out.Val = append(out.Val, st.a.Val[lo:hi]...)
-			out.RowPtr[i+1] = int64(len(out.Col))
-		}
+		st.blk.appendTo(out)
 	}
 	return out
 }
 
-// iterate is the distributed kernel-3 driver: pagerank.RunCustom supplies
-// the exact serial update semantics, and the two hooks distribute it —
-// the step hook computes each processor's row-block partial product and
-// all-reduces the partials, and the dangling-mass hook performs a scalar
-// all-reduce because out-degrees are distributed.  The rank vector stays
-// replicated: rank 0 materializes the initial vector inside the driver
-// and one broadcast ships it.
+// danglingMassOf sums the rank mass sitting on one rank's owned dangling
+// rows — the local contribution to the dangling-mass scalar all-reduce,
+// shared by both runtimes.
+func danglingMassOf(st *rankState, r []float64) float64 {
+	var s float64
+	for _, i := range st.danglingRows {
+		s += r[i]
+	}
+	return s
+}
+
+// iterate is the simulated distributed kernel-3 driver: pagerank.RunCustom
+// supplies the exact serial update semantics, and the two hooks distribute
+// it — the step hook computes each processor's row-block partial product
+// and all-reduces the partials, and the dangling-mass hook performs a
+// scalar all-reduce because out-degrees are distributed.  The rank vector
+// stays replicated: rank 0 materializes the initial vector inside the
+// driver and one broadcast ships it.
 func iterate(states []*rankState, n int, opt pagerank.Options, c *comm) ([]float64, int, error) {
 	partials := make([][]float64, len(states))
 	for i := range partials {
@@ -284,17 +302,13 @@ func iterate(states []*rankState, n int, opt pagerank.Options, c *comm) ([]float
 	dangleParts := make([]float64, len(states))
 	step := func(out, r []float64) {
 		for rk, st := range states {
-			st.vxm(partials[rk], r)
+			st.blk.vxm(partials[rk], r)
 		}
 		c.allReduceSum(out, partials)
 	}
 	dangleMass := func(r []float64) float64 {
 		for rk, st := range states {
-			var s float64
-			for _, i := range st.danglingRows {
-				s += r[i]
-			}
-			dangleParts[rk] = s
+			dangleParts[rk] = danglingMassOf(st, r)
 		}
 		return c.allReduceScalar(dangleParts)
 	}

@@ -14,6 +14,11 @@ package dist
 //     same bucket;
 //   - the local sort is the same stable LSD radix sort the serial kernel
 //     uses, and bucket key ranges are disjoint.
+//
+// The schedule's sampling and splitter-selection steps live in the shared
+// helpers below; the simulated path (Sort, this file) and the goroutine
+// path (sortGoroutine, rank.go) both execute them, so the two produce the
+// same splitters, the same buckets, the same bytes and the same output.
 
 import (
 	"fmt"
@@ -39,8 +44,41 @@ type SortResult struct {
 	Comm CommStats
 }
 
+// sampleChunk draws up to SamplesPerRank evenly spaced start-vertex keys
+// from the chunk [lo, hi) of the input — one rank's local sampling step,
+// shared by both runtimes.
+func sampleChunk(l *edge.List, lo, hi int) []uint64 {
+	cnt := hi - lo
+	if cnt == 0 {
+		return nil
+	}
+	s := SamplesPerRank
+	if s > cnt {
+		s = cnt
+	}
+	keys := make([]uint64, s)
+	for k := 0; k < s; k++ {
+		keys[k] = l.U[lo+k*cnt/s]
+	}
+	return keys
+}
+
+// chooseSplitters sorts the gathered sample in place and selects the p-1
+// splitters at even sample quantiles — the root's selection step, shared
+// by both runtimes.  Duplicate splitters (p larger than the number of
+// distinct keys) simply leave some buckets empty.
+func chooseSplitters(samples []uint64, p int) []uint64 {
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	splitters := make([]uint64, p-1)
+	for i := range splitters {
+		splitters[i] = samples[(i+1)*len(samples)/p]
+	}
+	return splitters
+}
+
 // Sort performs the distributed sample sort of l by start vertex over p
-// virtual processors.  The input is not modified.
+// simulated processors.  The input is not modified.  SortMode selects the
+// concurrent goroutine execution of the same schedule.
 func Sort(l *edge.List, p int) (*SortResult, error) {
 	if l == nil {
 		return nil, fmt.Errorf("dist: Sort of nil edge list")
@@ -62,31 +100,16 @@ func Sort(l *edge.List, p int) (*SortResult, error) {
 	samples := make([]uint64, 0, p*SamplesPerRank)
 	for r := 0; r < p; r++ {
 		lo, hi := blockBounds(m, p, r)
-		cnt := hi - lo
-		if cnt == 0 {
-			continue
-		}
-		s := SamplesPerRank
-		if s > cnt {
-			s = cnt
-		}
-		for k := 0; k < s; k++ {
-			samples = append(samples, l.U[lo+k*cnt/s])
-		}
+		keys := sampleChunk(l, lo, hi)
+		samples = append(samples, keys...)
 		if r != 0 {
-			c.st.AllToAllBytes += 8 * uint64(s)
+			c.st.AllToAllBytes += keyWireBytes * uint64(len(keys))
 		}
 	}
-	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
 
 	// Phase 2: rank 0 selects p-1 splitters at even sample quantiles and
-	// broadcasts them.  Duplicate splitters (p larger than the number of
-	// distinct keys) simply leave some buckets empty.
-	splitters := make([]uint64, p-1)
-	for i := range splitters {
-		splitters[i] = samples[(i+1)*len(samples)/p]
-	}
-	splitters = c.broadcastKeys(splitters)
+	// broadcasts them.
+	splitters := c.broadcastKeys(chooseSplitters(samples, p))
 
 	// Phase 3: all-to-all exchange.  Scanning source chunks in rank order
 	// keeps each bucket in global input order, which is what makes the
@@ -102,7 +125,7 @@ func Sort(l *edge.List, p int) (*SortResult, error) {
 			d := destRank(splitters, u)
 			buckets[d].Append(u, l.V[i])
 			if d != src {
-				c.st.AllToAllBytes += 16 // two uint64 endpoints
+				c.st.AllToAllBytes += edgeWireBytes
 			}
 		}
 	}

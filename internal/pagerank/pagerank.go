@@ -1,24 +1,3 @@
-// Package pagerank implements kernel 3 of the PageRank pipeline benchmark:
-// a fixed number of iterations of the PageRank update on the normalized
-// adjacency matrix produced by kernel 2.
-//
-// The paper's update, in Matlab notation with row vector r and damping
-// factor c = 0.85, is
-//
-//	a = ones(1,N) .* (1-c) ./ N
-//	r = ((c .* r) * A) + (a .* sum(r,2))
-//
-// i.e. r ← c·(r·A) + (1-c)·sum(r)/N in every component — exactly one power
-// iteration of the dense matrix c·A + (1-c)/N·𝟙.  Following the benchmark
-// definition the update runs for a fixed 20 iterations rather than to
-// convergence, and the dangling-node correction is deliberately omitted
-// (the paper cites Ipsen & Selee that it does not materially change r);
-// both behaviors are available as options.
-//
-// Four interchangeable engines evaluate the product r·A: scatter (CSR
-// row-major), gather (via the transpose), goroutine-parallel gather, and
-// the generic GraphBLAS semiring form.  All are verified against each
-// other and against the paper's dense eigenvector check.
 package pagerank
 
 import (

@@ -1,0 +1,19 @@
+// Package perfmodel implements the simple hardware performance models the
+// paper calls for: "the computations are simple enough that performance
+// predictions can be made based on simple computing hardware models."
+//
+// Each kernel's cost is modeled as the larger of its compute demand and its
+// bandwidth demand on the relevant channel (a roofline-style bound):
+//
+//	K0  generate:  random-bit compute vs. storage-write bandwidth
+//	K1  sort:      storage read+write plus radix passes over memory
+//	K2  filter:    storage read plus scatter traffic to build the matrix
+//	K3  pagerank:  pure memory streaming over the CSR per iteration,
+//	               plus — in the parallel model — an all-reduce of the
+//	               rank vector per iteration (the paper's predicted
+//	               communication bottleneck)
+//
+// The models intentionally have few parameters; they predict orders of
+// magnitude and shapes (which kernel is slowest, where parallel scaling
+// rolls off), not exact numbers.
+package perfmodel

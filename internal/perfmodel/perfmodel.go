@@ -1,21 +1,3 @@
-// Package perfmodel implements the simple hardware performance models the
-// paper calls for: "the computations are simple enough that performance
-// predictions can be made based on simple computing hardware models."
-//
-// Each kernel's cost is modeled as the larger of its compute demand and its
-// bandwidth demand on the relevant channel (a roofline-style bound):
-//
-//	K0  generate:  random-bit compute vs. storage-write bandwidth
-//	K1  sort:      storage read+write plus radix passes over memory
-//	K2  filter:    storage read plus scatter traffic to build the matrix
-//	K3  pagerank:  pure memory streaming over the CSR per iteration,
-//	               plus — in the parallel model — an all-reduce of the
-//	               rank vector per iteration (the paper's predicted
-//	               communication bottleneck)
-//
-// The models intentionally have few parameters; they predict orders of
-// magnitude and shapes (which kernel is slowest, where parallel scaling
-// rolls off), not exact numbers.
 package perfmodel
 
 import (
@@ -268,6 +250,63 @@ func ParallelKernel1(h Hardware, w Workload, p int) Prediction {
 		times["network"] = (perNode+splitterExchange)/h.NetBandwidth + 2*math.Log2(float64(p))*h.NetLatency
 	}
 	return prediction(m, times)
+}
+
+// ElapsedComparison relates the measured per-rank wall clock of a
+// goroutine-mode distributed run (dist.Result.RankSeconds) to the
+// parallel kernel-3 hardware model.  The model prices the iteration
+// phase, so the comparison is sharpest for dist.RunMatrixMode results
+// (pure kernel 3); for full dist.RunMode results the kernel-2 build adds
+// a small constant the 20-iteration benchmark amortizes away.
+type ElapsedComparison struct {
+	// Procs is the rank count the comparison was taken at.
+	Procs int
+	// PredictedSeconds is ParallelKernel3's duration on the model hardware.
+	PredictedSeconds float64
+	// MeasuredSeconds is the slowest rank — the run's critical path.
+	MeasuredSeconds float64
+	// MeanSeconds is the average rank duration.
+	MeanSeconds float64
+	// Imbalance is MeasuredSeconds / MeanSeconds: 1.0 is a perfectly
+	// balanced SPMD run; Kronecker hub rows push it above 1.
+	Imbalance float64
+	// Ratio is MeasuredSeconds / PredictedSeconds — how far the real host
+	// sits from the modeled platform (it is not the modeled hardware, so
+	// expect a stable constant across p rather than 1.0).
+	Ratio float64
+}
+
+// CompareRankElapsed builds the predicted-vs-measured comparison for a
+// goroutine-mode run's per-rank wall-clock times.
+func CompareRankElapsed(h Hardware, w Workload, rankSeconds []float64) (ElapsedComparison, error) {
+	if err := h.Validate(); err != nil {
+		return ElapsedComparison{}, err
+	}
+	p := len(rankSeconds)
+	if p == 0 {
+		return ElapsedComparison{}, fmt.Errorf("perfmodel: no per-rank times (simulated runs have none)")
+	}
+	var sum, max float64
+	for _, s := range rankSeconds {
+		sum += s
+		if s > max {
+			max = s
+		}
+	}
+	mean := sum / float64(p)
+	cmp := ElapsedComparison{
+		Procs:            p,
+		PredictedSeconds: ParallelKernel3(h, w, p).Seconds,
+		MeasuredSeconds:  max,
+		MeanSeconds:      mean,
+	}
+	if mean > 0 {
+		cmp.Imbalance = max / mean
+	}
+	if cmp.PredictedSeconds > 0 {
+		cmp.Ratio = max / cmp.PredictedSeconds
+	}
+	return cmp, nil
 }
 
 // Speedup returns ParallelKernel3(p).EdgesPerSecond relative to p = 1.

@@ -188,3 +188,35 @@ func TestParallelKernel1Shape(t *testing.T) {
 		t.Errorf("K1 superlinear speedup: %.2f at p=8", r8/p1.EdgesPerSecond)
 	}
 }
+
+func TestCompareRankElapsed(t *testing.T) {
+	h, w := PaperNode(), wl()
+	cmp, err := CompareRankElapsed(h, w, []float64{0.9, 1.2, 1.0, 1.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.Procs != 4 {
+		t.Errorf("procs = %d", cmp.Procs)
+	}
+	if cmp.MeasuredSeconds != 1.2 || cmp.MeanSeconds != 1.05 {
+		t.Errorf("max/mean = %v/%v", cmp.MeasuredSeconds, cmp.MeanSeconds)
+	}
+	if cmp.Imbalance < 1 {
+		t.Errorf("imbalance %v below 1", cmp.Imbalance)
+	}
+	// prediction() sums its times map, whose iteration order varies run
+	// to run, so compare with a relative tolerance.
+	want := ParallelKernel3(h, w, 4).Seconds
+	if d := cmp.PredictedSeconds - want; d > 1e-9*want || d < -1e-9*want {
+		t.Errorf("prediction %v, parallel kernel-3 model %v", cmp.PredictedSeconds, want)
+	}
+	if cmp.Ratio <= 0 {
+		t.Errorf("ratio %v", cmp.Ratio)
+	}
+	if _, err := CompareRankElapsed(h, w, nil); err == nil {
+		t.Error("empty rank times accepted (simulated runs must be rejected)")
+	}
+	if _, err := CompareRankElapsed(Hardware{}, w, []float64{1}); err == nil {
+		t.Error("invalid hardware accepted")
+	}
+}

@@ -1,19 +1,3 @@
-// Package pipeline orchestrates the four kernels of the PageRank pipeline
-// benchmark: generate (K0), sort (K1), filter (K2) and PageRank (K3).
-//
-// Each kernel is a mathematically defined contract — files of tab-separated
-// edges between K0/K1/K2, a normalized sparse matrix between K2/K3 — and
-// "each kernel in the pipeline must be fully completed before the next
-// kernel can begin".  The package times every kernel and reports the
-// paper's metrics: edges/second with M edges for K0–K2 and 20·M edges for
-// K3.
-//
-// Multiple implementation variants register themselves in a registry; six
-// stand in for the paper's language implementations (C++, Python,
-// Python/Pandas, Matlab, Octave, Julia) and a seventh ("dist") runs the
-// simulated distributed-memory pipeline of the paper's §V analysis, each
-// exercising the same kernel contracts through a different code path (see
-// DESIGN.md §1).
 package pipeline
 
 import (
@@ -21,6 +5,7 @@ import (
 	"sort"
 	"time"
 
+	"repro/internal/dist"
 	"repro/internal/edge"
 	"repro/internal/gensuite"
 	"repro/internal/graphblas"
@@ -93,6 +78,11 @@ type Config struct {
 	// SortEndVertices makes K1 sort by (u, v) instead of u only — the
 	// paper's "should the end vertices also be sorted?" open question.
 	SortEndVertices bool
+	// DistMode overrides the execution mode of the dist/distgo variants'
+	// runtime: "sim" (single-threaded simulation) or "goroutine"
+	// (concurrent ranks with real message passing).  Empty keeps the
+	// selected variant's default.
+	DistMode string
 	// PageRank carries K3 options (damping, iterations, dangling).
 	PageRank pagerank.Options
 	// KeepRank retains the final rank vector in the Result.
@@ -137,6 +127,9 @@ func (c Config) Validate() error {
 	case GenKronecker, GenPPL, GenER:
 	default:
 		return fmt.Errorf("pipeline: unknown generator %q", cc.Generator)
+	}
+	if _, err := dist.ParseExecMode(cc.DistMode); err != nil {
+		return err
 	}
 	return cc.PageRank.Validate()
 }

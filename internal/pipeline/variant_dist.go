@@ -1,12 +1,15 @@
 package pipeline
 
-// The dist variant runs the pipeline through the simulated distributed-
-// memory runtime of internal/dist: kernel 1 is the splitter-based sample
-// sort, kernels 2 and 3 use the 1D row-block decomposition with metered
-// collectives.  Results are identical to the serial variants — the sort
-// bit-for-bit, the matrix bit-for-bit, the rank vector to ~1e-12 — which
-// is exactly the property the paper's §V analysis assumes when it prices
-// the parallel pipeline by communication volume alone.
+// The dist variants run the pipeline through the distributed-memory
+// runtime of internal/dist: kernel 1 is the splitter-based sample sort,
+// kernels 2 and 3 use the 1D row-block decomposition with metered
+// collectives.  "dist" executes the single-threaded simulation, "distgo"
+// the concurrent goroutine-rank runtime (Config.DistMode overrides
+// either).  Results are identical to the serial variants — the sort
+// bit-for-bit, the matrix bit-for-bit, the rank vector to ~1e-12 — and
+// identical between the two modes bit-for-bit, which is exactly the
+// property the paper's §V analysis assumes when it prices the parallel
+// pipeline by communication volume alone (DESIGN.md §5).
 
 import (
 	"repro/internal/dist"
@@ -15,27 +18,54 @@ import (
 	"repro/internal/xsort"
 )
 
-func init() { Register(distVariant{}) }
+func init() {
+	Register(distVariant{})
+	Register(distVariant{mode: dist.ExecGoroutine})
+}
 
-type distVariant struct{}
+type distVariant struct {
+	// mode is the registered default; Config.DistMode overrides it.
+	mode dist.ExecMode
+}
 
 // Name implements Variant.
-func (distVariant) Name() string { return "dist" }
+func (v distVariant) Name() string {
+	if v.mode == dist.ExecGoroutine {
+		return "distgo"
+	}
+	return "dist"
+}
 
 // Description implements Variant.
-func (distVariant) Description() string {
+func (v distVariant) Description() string {
+	if v.mode == dist.ExecGoroutine {
+		return "goroutine distributed memory: p concurrent ranks exchanging real channel messages, byte counts equal to the simulation and the §V closed form"
+	}
 	return "simulated distributed memory: sample sort, row-block matrix, all-reduce PageRank with exact communication accounting (the paper's §V parallel analysis)"
 }
 
-// procs is the virtual processor count: Config.Workers when set, else a
+// procs is the processor (rank) count: Config.Workers when set, else a
 // fixed default so results do not depend on the host's CPU count (they
-// would not anyway — the simulation is p-invariant — but determinism of
-// the communication record matters for reports).
+// would not anyway — both modes are p-invariant — but determinism of the
+// communication record matters for reports).
 func (distVariant) procs(r *Run) int {
 	if r.Cfg.Workers > 0 {
 		return r.Cfg.Workers
 	}
 	return 4
+}
+
+// execMode resolves the effective execution mode: Config.DistMode when
+// set (validated by Config.Validate), else the variant's registered
+// default.
+func (v distVariant) execMode(r *Run) dist.ExecMode {
+	if r.Cfg.DistMode != "" {
+		m, err := dist.ParseExecMode(r.Cfg.DistMode)
+		if err == nil {
+			return m
+		}
+	}
+	return v.mode
 }
 
 // Kernel0 implements Variant.
@@ -63,7 +93,7 @@ func (v distVariant) Kernel1(r *Run) error {
 		// variant does.
 		xsort.RadixByUV(l)
 	} else {
-		res, err := dist.Sort(l, v.procs(r))
+		res, err := dist.SortMode(v.execMode(r), l, v.procs(r))
 		if err != nil {
 			return err
 		}
@@ -78,7 +108,7 @@ func (v distVariant) Kernel2(r *Run) error {
 	if err != nil {
 		return err
 	}
-	b, err := dist.BuildFiltered(l, int(r.Cfg.N()), v.procs(r))
+	b, err := dist.BuildFilteredMode(v.execMode(r), l, int(r.Cfg.N()), v.procs(r))
 	if err != nil {
 		return err
 	}
@@ -89,7 +119,7 @@ func (v distVariant) Kernel2(r *Run) error {
 
 // Kernel3 implements Variant.
 func (v distVariant) Kernel3(r *Run) error {
-	res, err := dist.RunMatrix(r.Matrix, v.procs(r), r.Cfg.PageRank)
+	res, err := dist.RunMatrixMode(v.execMode(r), r.Matrix, v.procs(r), r.Cfg.PageRank)
 	if err != nil {
 		return err
 	}
