@@ -16,6 +16,14 @@
 //	prbench -scale 16 -procs 8 -distmode goroutine
 //	prbench -scale 16 -procs 8 -distmode both
 //
+// Out-of-core distributed kernel 1 (-runedges bounds each rank's run
+// buffer; it composes with -distmode, and with -variant distext|extsort
+// for pipeline runs):
+//
+//	prbench -scale 16 -procs 8 -runedges 65536
+//	prbench -scale 16 -procs 8 -runedges 65536 -distmode both
+//	prbench -scale 16 -variant distext -runedges 65536
+//
 // Wall-clock scaling of the goroutine-rank runtime across processor
 // counts, with the hardware model's predicted speedup alongside:
 //
@@ -34,12 +42,14 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dist"
+	"repro/internal/edge"
 	"repro/internal/kronecker"
 	"repro/internal/pagerank"
 	"repro/internal/perfmodel"
 	"repro/internal/pipeline"
 	"repro/internal/results"
 	"repro/internal/vfs"
+	"repro/internal/xsort"
 )
 
 func main() {
@@ -61,6 +71,7 @@ func main() {
 		minScale   = flag.Int("minscale", 16, "sweep: smallest scale")
 		maxScale   = flag.Int("maxscale", 18, "sweep: largest scale")
 		procs      = flag.Int("procs", 0, "run the distributed pipeline on this many processors (ranks)")
+		runEdges   = flag.Int("runedges", 0, "out-of-core run-buffer size in edges (extsort/distext variants; with -procs runs the out-of-core distributed sort)")
 		distMode   = flag.String("distmode", "", "distributed execution: sim or goroutine (empty = variant default); with -procs also 'both' to cross-check the modes")
 		procSweep  = flag.String("procsweep", "", "comma-separated rank counts for a goroutine-mode wall-clock scaling table")
 		predict    = flag.Bool("predict", false, "print hardware-model predictions and exit")
@@ -80,7 +91,7 @@ func main() {
 		return
 	}
 	if *procs > 0 {
-		if err := runDistributed(*scale, *edgeFactor, *seed, *procs, *iterations, *damping, *dangling, *distMode); err != nil {
+		if err := runDistributed(*scale, *edgeFactor, *seed, *procs, *iterations, *damping, *dangling, *distMode, *runEdges); err != nil {
 			fatal(err)
 		}
 		return
@@ -105,6 +116,7 @@ func main() {
 		Variant:         *variant,
 		Generator:       pipeline.GeneratorKind(*generator),
 		Workers:         *workers,
+		RunEdges:        *runEdges,
 		SortEndVertices: *sortEnds,
 		DistMode:        *distMode,
 		PageRank: pagerank.Options{
@@ -239,7 +251,7 @@ func runSweep(minScale, maxScale, edgeFactor int, seed uint64, variant, format s
 	return nil
 }
 
-func runDistributed(scale, edgeFactor int, seed uint64, procs, iterations int, damping float64, dangling bool, mode string) error {
+func runDistributed(scale, edgeFactor int, seed uint64, procs, iterations int, damping float64, dangling bool, mode string, runEdges int) error {
 	kcfg := kronecker.New(scale, seed)
 	kcfg.EdgeFactor = edgeFactor
 	l, err := kronecker.Generate(kcfg)
@@ -257,6 +269,11 @@ func runDistributed(scale, edgeFactor int, seed uint64, procs, iterations int, d
 			return err
 		}
 		modes = append(modes, m)
+	}
+	if runEdges > 0 {
+		if err := runExternalSort(l, procs, runEdges, modes); err != nil {
+			return err
+		}
 	}
 	var first *dist.Result
 	for _, m := range modes {
@@ -292,6 +309,41 @@ func runDistributed(scale, edgeFactor int, seed uint64, procs, iterations int, d
 			}
 			fmt.Println("  cross-check:        sim and goroutine modes agree bit-for-bit, bytes included")
 		}
+	}
+	return nil
+}
+
+// runExternalSort runs the out-of-core distributed kernel 1 in each
+// requested mode, verifies the output against the serial stable radix
+// sort and the communication record against the in-memory distributed
+// sort, and reports spill statistics.
+func runExternalSort(l *edge.List, procs, runEdges int, modes []dist.ExecMode) error {
+	serial := l.Clone()
+	xsort.RadixByU(serial)
+	inMem, err := dist.Sort(l, procs)
+	if err != nil {
+		return err
+	}
+	for _, m := range modes {
+		res, err := dist.SortExternalMode(m, l, procs, dist.ExtSortConfig{RunEdges: runEdges})
+		if err != nil {
+			return err
+		}
+		totalRuns := 0
+		for _, r := range res.RunsPerRank {
+			totalRuns += r
+		}
+		fmt.Printf("out-of-core distributed sort (%v): %d ranks, %d edges/run buffer\n", m, procs, runEdges)
+		fmt.Printf("  spilled runs:       %d (%.3g MB written, %.3g MB read back)\n",
+			totalRuns, float64(res.Spill.BytesWritten)/1e6, float64(res.Spill.BytesRead)/1e6)
+		fmt.Printf("  all-to-all bytes:   %d (in-memory sort: %d)\n", res.Comm.AllToAllBytes, inMem.Comm.AllToAllBytes)
+		if !res.Sorted.Equal(serial) {
+			return fmt.Errorf("out-of-core sort (%v) diverges from serial radix sort", m)
+		}
+		if res.Comm != inMem.Comm {
+			return fmt.Errorf("out-of-core sort (%v) comm %+v differs from in-memory %+v", m, res.Comm, inMem.Comm)
+		}
+		fmt.Println("  cross-check:        bit-for-bit equal to serial sort, bytes equal to in-memory sort")
 	}
 	return nil
 }

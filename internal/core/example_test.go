@@ -36,8 +36,8 @@ func ExampleSizeTable() {
 }
 
 // ExampleVariants lists the implementation variants: the six serial
-// analogues of the paper's language implementations plus the two
-// distributed runtimes (simulated and goroutine ranks).
+// analogues of the paper's language implementations plus the three
+// distributed regimes (simulated, goroutine ranks, out-of-core).
 func ExampleVariants() {
 	for _, v := range core.Variants() {
 		fmt.Println(v)
@@ -47,6 +47,7 @@ func ExampleVariants() {
 	// coo
 	// csr
 	// dist
+	// distext
 	// distgo
 	// extsort
 	// graphblas

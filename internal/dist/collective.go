@@ -109,6 +109,22 @@ func (c *rankComm) recvEdges(src int) *edge.List {
 	return v
 }
 
+func (c *rankComm) recvSegments(src int) []*edge.List {
+	v, ok := c.recv(src).([]*edge.List)
+	if !ok {
+		panic(fmt.Sprintf("dist: rank %d expected []*edge.List from rank %d", c.rank, src))
+	}
+	return v
+}
+
+func (c *rankComm) recvString(src int) string {
+	v, ok := c.recv(src).(string)
+	if !ok {
+		panic(fmt.Sprintf("dist: rank %d expected string from rank %d", c.rank, src))
+	}
+	return v
+}
+
 // allReduceSum leaves the rank-ordered global sum of the ranks' partial
 // vectors in vec on every rank: non-roots send their partial to rank 0,
 // the root accumulates the contributions in ascending rank order (its own
@@ -216,6 +232,83 @@ func (c *rankComm) gatherKeys(keys []uint64) [][]uint64 {
 	c.send(0, append([]uint64(nil), keys...))
 	c.st.AllToAllBytes += keyWireBytes * uint64(len(keys))
 	return nil
+}
+
+// agreeError is the control-plane barrier of the out-of-core sort: every
+// rank contributes its local error (nil for none), rank 0 folds the
+// contributions in ascending rank order and redistributes the first
+// failure.  A rank whose storage operation failed can thereby abort the
+// whole team at a schedule point instead of stranding its peers inside a
+// later collective; every rank returns a non-nil error, its own first.
+// Control traffic is deliberately unmetered — CommStats records the data
+// plane the §V model prices, and the simulation needs no barrier at all.
+func (c *rankComm) agreeError(local error) error {
+	p := c.procs()
+	if p == 1 {
+		return local
+	}
+	msg := ""
+	if local != nil {
+		msg = local.Error()
+		if msg == "" {
+			// The empty string is the wire encoding of "no error"; an
+			// error whose message is empty must still abort every rank.
+			msg = "unspecified failure"
+		}
+	}
+	if c.rank == 0 {
+		for src := 1; src < p; src++ {
+			if s := c.recvString(src); s != "" && msg == "" {
+				msg = s
+			}
+		}
+		for dst := 1; dst < p; dst++ {
+			c.send(dst, msg)
+		}
+	} else {
+		c.send(0, msg)
+		msg = c.recvString(0)
+	}
+	switch {
+	case local != nil:
+		return local
+	case msg != "":
+		return fmt.Errorf("dist: peer rank failed: %s", msg)
+	default:
+		return nil
+	}
+}
+
+// exchangeSegments performs the personalized all-to-all of the out-of-core
+// sort's spilled-run routing: out[d] holds this rank's sorted run segments
+// for rank d, in run order.  Segment boundaries survive the wire — the
+// receiver's k-way merge needs each segment as its own sorted stream — and
+// the inbound groups are returned in ascending source order, which
+// combined with run order inside each group is global input order, the
+// stability invariant.  Outbox ownership transfers to the receiver.  Only
+// off-rank edges are metered, at edgeWireBytes each — segment framing adds
+// no modeled bytes, so the record equals the in-memory exchange's for the
+// same splitters.
+func (c *rankComm) exchangeSegments(out [][]*edge.List) [][]*edge.List {
+	p := c.procs()
+	in := make([][]*edge.List, p)
+	in[c.rank] = out[c.rank]
+	for dst := 0; dst < p; dst++ {
+		if dst == c.rank {
+			continue
+		}
+		c.send(dst, out[dst])
+		for _, seg := range out[dst] {
+			c.st.AllToAllBytes += edgeWireBytes * uint64(seg.Len())
+		}
+	}
+	for src := 0; src < p; src++ {
+		if src == c.rank {
+			continue
+		}
+		in[src] = c.recvSegments(src)
+	}
+	return in
 }
 
 // exchangeEdges performs the personalized all-to-all of kernel 1's bucket

@@ -19,6 +19,7 @@ import (
 	"repro/internal/edge"
 	"repro/internal/pagerank"
 	"repro/internal/sparse"
+	"repro/internal/vfs"
 	"repro/internal/xsort"
 )
 
@@ -139,8 +140,10 @@ type rankOutcome struct {
 	// on every rank after their all-reduces).
 	mass float64
 	nnz  int
-	// edges is the rank's sorted bucket (sort program only).
+	// edges is the rank's sorted bucket (sort programs only).
 	edges *edge.List
+	// runs is the rank's spilled-run count (out-of-core sort program only).
+	runs int
 	// err is a per-rank failure; the schedule guarantees option errors
 	// surface identically on every rank before any collective, so no rank
 	// can strand another inside one.
@@ -327,13 +330,87 @@ func sortGoroutine(l *edge.List, p int) (*SortResult, error) {
 	return &SortResult{Sorted: sorted, Comm: out.result.Comm}, nil
 }
 
-// sortRank is one rank's sample-sort program: sample the owned chunk,
-// gather samples at rank 0, receive the broadcast splitters, exchange
-// edges by key range, and stably sort the resulting bucket.
-func sortRank(c *rankComm, l *edge.List) *edge.List {
+// sortExternalGoroutine is the concurrent execution of the out-of-core
+// sort's schedule; each rank spills, samples, routes run segments and
+// merges its bucket, and the driver concatenates the buckets in rank
+// order.  Inputs were validated and defaulted by SortExternalMode.
+func sortExternalGoroutine(l *edge.List, p int, cfg ExtSortConfig, fs vfs.FS) (*ExtSortResult, error) {
+	out, err := spawnRanks(p, func(c *rankComm) rankOutcome {
+		bucket, runs, err := sortExternalRank(c, l, fs, cfg.TmpPrefix, cfg.RunEdges)
+		return rankOutcome{edges: bucket, runs: runs, err: err}
+	})
+	if err != nil {
+		return nil, err
+	}
+	sorted := edge.NewList(l.Len())
+	runsPerRank := make([]int, p)
+	for r, o := range out.outcomes {
+		sorted.AppendList(o.edges)
+		runsPerRank[r] = o.runs
+	}
+	return &ExtSortResult{Sorted: sorted, Comm: out.result.Comm, RunsPerRank: runsPerRank}, nil
+}
+
+// sortExternalRank is one rank's out-of-core sample-sort program: spill
+// the owned chunk as bounded sorted runs, agree that every rank's spill
+// succeeded (control-plane barrier — a storage failure anywhere aborts all
+// ranks before the next collective), run the in-memory sort's sample and
+// splitter schedule, split each run at the splitters and exchange the
+// segments, then k-way merge the received segments in (source rank, run)
+// order.  The rank's own run files are removed before it returns, on every
+// path.
+func sortExternalRank(c *rankComm, l *edge.List, fs vfs.FS, prefix string, runEdges int) (bucket *edge.List, runs int, err error) {
 	p := c.procs()
 	m := l.Len()
 	lo, hi := blockBounds(m, p, c.rank)
+	names, spillErr := extSpillRuns(fs, prefix, l, c.rank, lo, hi, runEdges)
+	defer func() {
+		if rmErr := xsort.RemoveRuns(fs, names); rmErr != nil && err == nil {
+			bucket, err = nil, rmErr
+		}
+	}()
+	if err := c.agreeError(spillErr); err != nil {
+		return nil, len(names), err
+	}
+
+	splitters := splitterPhase(c, l, lo, hi)
+
+	out := make([][]*edge.List, p)
+	var partErr error
+	for _, name := range names {
+		parts, perr := extPartitionRun(fs, name, splitters, p)
+		if perr != nil {
+			partErr = perr
+			break
+		}
+		for d, part := range parts {
+			if part.Len() > 0 {
+				out[d] = append(out[d], part)
+			}
+		}
+	}
+	if err := c.agreeError(partErr); err != nil {
+		return nil, len(names), err
+	}
+
+	in := c.exchangeSegments(out)
+	var ordered []*edge.List
+	for _, group := range in {
+		ordered = append(ordered, group...)
+	}
+	bucket = edge.NewList(0)
+	xsort.MergeLists(ordered, bucket, false)
+	return bucket, len(names), nil
+}
+
+// splitterPhase runs one goroutine rank's share of the sort's sampling
+// and splitter schedule: sample the owned chunk [lo, hi), gather the
+// samples at rank 0, select the splitters there and receive the
+// broadcast.  The in-memory and out-of-core sorts share it, so the two
+// schedules cannot drift apart (gatherSamples in sort.go is the
+// simulated counterpart).
+func splitterPhase(c *rankComm, l *edge.List, lo, hi int) []uint64 {
+	p := c.procs()
 	all := c.gatherKeys(sampleChunk(l, lo, hi))
 	var splitters []uint64
 	if c.rank == 0 {
@@ -343,7 +420,17 @@ func sortRank(c *rankComm, l *edge.List) *edge.List {
 		}
 		splitters = chooseSplitters(samples, p)
 	}
-	splitters = c.broadcastKeys(splitters)
+	return c.broadcastKeys(splitters)
+}
+
+// sortRank is one rank's sample-sort program: sample the owned chunk,
+// gather samples at rank 0, receive the broadcast splitters, exchange
+// edges by key range, and stably sort the resulting bucket.
+func sortRank(c *rankComm, l *edge.List) *edge.List {
+	p := c.procs()
+	m := l.Len()
+	lo, hi := blockBounds(m, p, c.rank)
+	splitters := splitterPhase(c, l, lo, hi)
 
 	out := make([]*edge.List, p)
 	for d := range out {

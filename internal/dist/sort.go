@@ -63,17 +63,50 @@ func sampleChunk(l *edge.List, lo, hi int) []uint64 {
 	return keys
 }
 
-// chooseSplitters sorts the gathered sample in place and selects the p-1
-// splitters at even sample quantiles — the root's selection step, shared
-// by both runtimes.  Duplicate splitters (p larger than the number of
-// distinct keys) simply leave some buckets empty.
+// chooseSplitters sorts the gathered sample in place and selects up to
+// p-1 strictly increasing splitters at even sample quantiles — the root's
+// selection step, shared by both runtimes.  The quantiles are taken over
+// the raw (frequency-weighted) sample, so skewed key distributions place
+// more splitters inside their hot ranges and the buckets balance by edge
+// count, which is what the oversampling exists for.  A quantile pick that
+// repeats an already-chosen splitter is skipped rather than emitted:
+// repeated splitters (tiny or duplicate-heavy samples repeat quantile
+// indices) would funnel nearly every edge into one bucket.  Fewer than
+// p-1 splitters is a valid destRank input — the trailing buckets receive
+// nothing — and both runtimes broadcast whatever length is chosen here,
+// so the schedules stay in lockstep.
 func chooseSplitters(samples []uint64, p int) []uint64 {
+	if len(samples) == 0 {
+		return nil
+	}
 	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
-	splitters := make([]uint64, p-1)
-	for i := range splitters {
-		splitters[i] = samples[(i+1)*len(samples)/p]
+	splitters := make([]uint64, 0, p-1)
+	for i := 1; i < p; i++ {
+		cand := samples[i*len(samples)/p]
+		if len(splitters) > 0 && cand <= splitters[len(splitters)-1] {
+			continue
+		}
+		splitters = append(splitters, cand)
 	}
 	return splitters
+}
+
+// gatherSamples draws every rank's evenly spaced sample keys and meters
+// the gather at rank 0 (personalized sends, metered as all-to-all
+// traffic) — the simulated counterpart of the goroutine ranks'
+// gatherKeys calls, shared by the in-memory and out-of-core sorts so
+// their sampling schedules cannot drift apart.
+func gatherSamples(c *comm, l *edge.List) []uint64 {
+	samples := make([]uint64, 0, c.p*SamplesPerRank)
+	for r := 0; r < c.p; r++ {
+		lo, hi := blockBounds(l.Len(), c.p, r)
+		keys := sampleChunk(l, lo, hi)
+		samples = append(samples, keys...)
+		if r != 0 {
+			c.st.AllToAllBytes += keyWireBytes * uint64(len(keys))
+		}
+	}
+	return samples
 }
 
 // Sort performs the distributed sample sort of l by start vertex over p
@@ -94,22 +127,9 @@ func Sort(l *edge.List, p int) (*SortResult, error) {
 	}
 	c := &comm{p: p}
 
-	// Phase 1: each rank draws evenly spaced keys from its chunk; the
-	// samples are gathered at rank 0 (personalized sends, metered as
-	// all-to-all traffic).
-	samples := make([]uint64, 0, p*SamplesPerRank)
-	for r := 0; r < p; r++ {
-		lo, hi := blockBounds(m, p, r)
-		keys := sampleChunk(l, lo, hi)
-		samples = append(samples, keys...)
-		if r != 0 {
-			c.st.AllToAllBytes += keyWireBytes * uint64(len(keys))
-		}
-	}
-
-	// Phase 2: rank 0 selects p-1 splitters at even sample quantiles and
-	// broadcasts them.
-	splitters := c.broadcastKeys(chooseSplitters(samples, p))
+	// Phases 1 and 2: samples are gathered at rank 0, which selects the
+	// splitters and broadcasts them.
+	splitters := c.broadcastKeys(chooseSplitters(gatherSamples(c, l), p))
 
 	// Phase 3: all-to-all exchange.  Scanning source chunks in rank order
 	// keeps each bucket in global input order, which is what makes the

@@ -1,0 +1,260 @@
+package dist
+
+// Out-of-core distributed sample sort (kernel 1 beyond RAM): the paper's
+// §IV requires kernel 1 to switch to an out-of-core algorithm when the
+// edge vectors exceed memory, and its §V analysis makes the distributed
+// sort the scaling bottleneck.  SortExternal combines the two regimes:
+//
+//   - run formation: each rank scans its contiguous input chunk through a
+//     bounded buffer of RunEdges edges, stably radix-sorts each buffer
+//     load, and spills it to the vfs.FS as a fixed-width binary run
+//     (xsort.SpillRun — the same machinery xsort.External uses);
+//   - splitter selection: sampling, the gather at rank 0 and the splitter
+//     broadcast are byte-for-byte the schedule of the in-memory Sort
+//     (sampleChunk / chooseSplitters / destRank, shared helpers);
+//   - spilled all-to-all: each rank streams its runs back, splits every
+//     run at the splitters — a sorted run splits into sorted, contiguous
+//     segments — and routes the segments to their bucket owners.  Only
+//     off-rank edges are metered, 16 bytes each, so CommStats equals the
+//     in-memory Sort's record for the same input exactly;
+//   - bucket merge: each rank k-way merges its received segments, ordered
+//     by (source rank, run index), with ties inside the merge breaking by
+//     segment order.
+//
+// The output is bit-for-bit equal to xsort.RadixByU for every p and every
+// RunEdges: a segment preserves the input order of its run slice (the run
+// sort is stable), segments are merged in (rank, run) order — which is
+// global input order — and bucket key ranges are disjoint, so the
+// concatenated buckets form the same stable sort the serial radix kernel
+// produces.
+//
+// This file holds the shared schedule steps and the simulated execution;
+// rank.go executes the identical schedule on p concurrent goroutine ranks
+// (sortExternalRank), with storage failures agreed through an unmetered
+// control-plane barrier so no rank strands another inside a collective.
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/edge"
+	"repro/internal/fastio"
+	"repro/internal/vfs"
+	"repro/internal/xsort"
+)
+
+// ExtSortConfig parameterizes the out-of-core distributed sort.
+type ExtSortConfig struct {
+	// FS receives the spilled run files; nil selects a private in-memory
+	// store (useful for tests; a real deployment points this at disk).
+	FS vfs.FS
+	// RunEdges bounds the per-rank in-memory buffer, modeling each
+	// processor's RAM: RunEdges·16 bytes is the run-formation working set.
+	// Zero or negative selects xsort.DefaultRunEdges.
+	RunEdges int
+	// TmpPrefix names the run files; empty selects "tmp/distsort".  Runs
+	// are removed on completion, success and failure alike.
+	TmpPrefix string
+}
+
+func (cfg ExtSortConfig) withDefaults() ExtSortConfig {
+	if cfg.FS == nil {
+		cfg.FS = vfs.NewMem()
+	}
+	if cfg.RunEdges <= 0 {
+		cfg.RunEdges = xsort.DefaultRunEdges
+	}
+	if cfg.TmpPrefix == "" {
+		cfg.TmpPrefix = "tmp/distsort"
+	}
+	return cfg
+}
+
+// ExtSortResult is the outcome of an out-of-core distributed sort.
+type ExtSortResult struct {
+	// Sorted is the globally sorted edge list, bit-for-bit equal to
+	// xsort.RadixByU of the input (and to Sort's output) for every p and
+	// every RunEdges.
+	Sorted *edge.List
+	// Comm records the sample gather, splitter broadcast and segment
+	// all-to-all — equal to the in-memory Sort's record for the same
+	// input, because splitters and chunk bounds are identical and spilling
+	// moves no extra bytes over the wire.
+	Comm CommStats
+	// RunsPerRank is the number of sorted runs each rank spilled,
+	// ceil(chunk/RunEdges) per rank.
+	RunsPerRank []int
+	// Spill is the storage traffic of the run spill and read-back, the
+	// I/O volume perfmodel.ParallelKernel1's out-of-core term prices.
+	Spill vfs.IOStats
+}
+
+// extRunName names rank r's run file number run under prefix.
+func extRunName(prefix string, rank, run int) string {
+	return fmt.Sprintf("%s/r%03d-run%05d.bin", prefix, rank, run)
+}
+
+// extSpillRuns forms one rank's sorted runs from the chunk [lo, hi) of l:
+// slices of at most runEdges edges, each stably radix-sorted in a bounded
+// buffer and spilled to fs — the run-formation step, shared by both
+// runtimes.  The input list is never mutated.  The returned names include
+// any file a failed spill may have partially created, so RemoveRuns over
+// them restores the FS.
+func extSpillRuns(fs vfs.FS, prefix string, l *edge.List, rank, lo, hi, runEdges int) ([]string, error) {
+	var names []string
+	n := runEdges
+	if hi-lo < n {
+		n = hi - lo
+	}
+	buf := edge.NewList(n)
+	for start := lo; start < hi; start += runEdges {
+		end := start + runEdges
+		if end > hi {
+			end = hi
+		}
+		buf.Reset()
+		buf.AppendList(l.Slice(start, end))
+		name := extRunName(prefix, rank, len(names))
+		names = append(names, name)
+		if err := xsort.SpillRun(fs, name, buf, false); err != nil {
+			return names, err
+		}
+	}
+	return names, nil
+}
+
+// extPartitionRun streams one spilled run back from fs and splits it at
+// the splitters into per-destination segments.  The run is sorted, so each
+// segment is a sorted, contiguous piece of it — the unit the destination's
+// k-way merge consumes.
+func extPartitionRun(fs vfs.FS, name string, splitters []uint64, p int) ([]*edge.List, error) {
+	r, err := fs.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	defer r.Close()
+	src := fastio.Binary{}.NewReader(r)
+	parts := make([]*edge.List, p)
+	for d := range parts {
+		parts[d] = edge.NewList(0)
+	}
+	for {
+		u, v, rerr := src.ReadEdge()
+		if rerr == io.EOF {
+			return parts, nil
+		}
+		if rerr != nil {
+			return nil, rerr
+		}
+		parts[destRank(splitters, u)].Append(u, v)
+	}
+}
+
+// SortExternal performs the out-of-core distributed sample sort of l by
+// start vertex over p simulated processors, spilling per-rank sorted runs
+// to cfg.FS and merging per-bucket run segments.  The input is not
+// modified.  It is SortExternalMode at ExecSim.
+func SortExternal(l *edge.List, p int, cfg ExtSortConfig) (*ExtSortResult, error) {
+	return SortExternalMode(ExecSim, l, p, cfg)
+}
+
+// SortExternalMode executes the out-of-core distributed sample sort in
+// the given execution mode.  Validation, configuration defaulting, the
+// empty-input result and the spill metering live here, once, so the two
+// modes cannot drift on the input contract; both produce bit-for-bit
+// identical output and identical CommStats and Spill records.
+func SortExternalMode(mode ExecMode, l *edge.List, p int, cfg ExtSortConfig) (*ExtSortResult, error) {
+	switch mode {
+	case ExecSim, ExecGoroutine:
+	default:
+		return nil, fmt.Errorf("dist: unknown execution mode %v", mode)
+	}
+	if l == nil {
+		return nil, fmt.Errorf("dist: SortExternal of nil edge list")
+	}
+	if p < 1 {
+		return nil, fmt.Errorf("dist: SortExternal with p = %d, want >= 1", p)
+	}
+	cfg = cfg.withDefaults()
+	if l.Len() == 0 {
+		return &ExtSortResult{Sorted: edge.NewList(0), RunsPerRank: make([]int, p)}, nil
+	}
+	meter := vfs.NewMetered(cfg.FS)
+	var res *ExtSortResult
+	var err error
+	switch mode {
+	case ExecSim:
+		res, err = sortExternalSim(l, p, cfg, meter)
+	case ExecGoroutine:
+		res, err = sortExternalGoroutine(l, p, cfg, meter)
+	}
+	if err != nil {
+		return nil, err
+	}
+	res.Spill = meter.Stats()
+	return res, nil
+}
+
+// sortExternalSim is the simulated execution of the out-of-core sort's
+// schedule; inputs were validated and defaulted by SortExternalMode.
+func sortExternalSim(l *edge.List, p int, cfg ExtSortConfig, fs vfs.FS) (res *ExtSortResult, err error) {
+	m := l.Len()
+	c := &comm{p: p}
+
+	// Phase 1: each rank forms its bounded sorted runs.  Whatever happens
+	// below, the spilled runs are gone when the sort returns.
+	names := make([][]string, p)
+	defer func() {
+		for _, ns := range names {
+			if rmErr := xsort.RemoveRuns(fs, ns); rmErr != nil && err == nil {
+				res, err = nil, rmErr
+			}
+		}
+	}()
+	runsPerRank := make([]int, p)
+	for r := 0; r < p; r++ {
+		lo, hi := blockBounds(m, p, r)
+		ns, spillErr := extSpillRuns(fs, cfg.TmpPrefix, l, r, lo, hi, cfg.RunEdges)
+		names[r] = ns
+		if spillErr != nil {
+			return nil, spillErr
+		}
+		runsPerRank[r] = len(ns)
+	}
+
+	// Phase 2: samples are gathered at rank 0, which selects the
+	// splitters and broadcasts them — the identical steps the in-memory
+	// Sort executes, so buckets (and the all-to-all volume) match it
+	// exactly.
+	splitters := c.broadcastKeys(chooseSplitters(gatherSamples(c, l), p))
+
+	// Phase 3: stream every run back, split it at the splitters, and
+	// route the segments to their bucket owners.  Iterating sources in
+	// rank order and runs in run order delivers each bucket's segments in
+	// global input order — the stability invariant.
+	segs := make([][]*edge.List, p)
+	for src := 0; src < p; src++ {
+		for _, name := range names[src] {
+			parts, perr := extPartitionRun(fs, name, splitters, p)
+			if perr != nil {
+				return nil, perr
+			}
+			for d, part := range parts {
+				if part.Len() == 0 {
+					continue
+				}
+				segs[d] = append(segs[d], part)
+				if d != src {
+					c.st.AllToAllBytes += edgeWireBytes * uint64(part.Len())
+				}
+			}
+		}
+	}
+
+	// Phase 4: per-bucket k-way merges, concatenated in rank order.
+	out := edge.NewList(m)
+	for d := 0; d < p; d++ {
+		xsort.MergeLists(segs[d], out, false)
+	}
+	return &ExtSortResult{Sorted: out, Comm: c.st, RunsPerRank: runsPerRank}, nil
+}

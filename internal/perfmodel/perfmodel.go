@@ -76,6 +76,11 @@ type Workload struct {
 	Iterations int
 	// BytesPerEdgeText is the average encoded text size of one edge.
 	BytesPerEdgeText float64
+	// RunEdges, when positive, selects the out-of-core kernel-1 regime
+	// (dist.SortExternal): each node's run buffer holds RunEdges edges and
+	// the sort round-trips its chunk through storage as sorted binary
+	// runs.  Zero models the in-memory kernel 1.
+	RunEdges int
 }
 
 func (w Workload) withDefaults() Workload {
@@ -233,6 +238,14 @@ func ParallelKernel3(h Hardware, w Workload, p int) Prediction {
 // splitters — adds its 8-bytes-per-key volume plus two log2(p)-depth
 // collective latencies.  dist.Sort's SortResult.Comm measures the same
 // quantities, so model and measurement share their terms.
+//
+// A positive Workload.RunEdges switches the model to the out-of-core sort
+// (dist.SortExternal): run formation spills each node's M/p-edge chunk to
+// storage as 16-byte binary records and the pre-exchange partition streams
+// it back, adding one storage write and one storage read of the chunk —
+// the spill/merge I/O term dist's ExtSortResult.Spill measures (the k-way
+// merge itself reads the already-exchanged segments from memory, so it
+// adds no further storage traffic).
 func ParallelKernel1(h Hardware, w Workload, p int) Prediction {
 	w = w.withDefaults()
 	if p < 1 {
@@ -243,6 +256,10 @@ func ParallelKernel1(h Hardware, w Workload, p int) Prediction {
 	compute := m * (parseOpsPerByte + formatOpsPerByte) * w.BytesPerEdgeText / h.ScalarRate / float64(p)
 	memory := m * radixBytesPerEdgePass * passes / h.MemBandwidth / float64(p)
 	storage := (m*w.BytesPerEdgeText/h.StorageReadBW + m*w.BytesPerEdgeText/h.StorageWriteBW) / float64(p)
+	if w.RunEdges > 0 {
+		spill := m / float64(p) * 16
+		storage += spill/h.StorageWriteBW + spill/h.StorageReadBW
+	}
 	times := map[string]float64{"compute": compute, "memory": memory, "storage": storage}
 	if p > 1 {
 		perNode := m / float64(p) * 16 * float64(p-1) / float64(p)

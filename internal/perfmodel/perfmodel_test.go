@@ -1,6 +1,7 @@
 package perfmodel
 
 import (
+	"math"
 	"testing"
 )
 
@@ -186,6 +187,26 @@ func TestParallelKernel1Shape(t *testing.T) {
 	}
 	if r8/p1.EdgesPerSecond > 8 {
 		t.Errorf("K1 superlinear speedup: %.2f at p=8", r8/p1.EdgesPerSecond)
+	}
+}
+
+func TestParallelKernel1OutOfCoreSpillTerm(t *testing.T) {
+	h, w := PaperNode(), wl()
+	for _, p := range []int{1, 2, 8} {
+		inMem := ParallelKernel1(h, w, p)
+		ooc := w
+		ooc.RunEdges = 1 << 20
+		ext := ParallelKernel1(h, ooc, p)
+		// The out-of-core regime adds exactly one 16 B/edge chunk write
+		// and one read-back per node on top of the in-memory model.
+		spill := w.M() / float64(p) * 16
+		want := inMem.Seconds + spill/h.StorageWriteBW + spill/h.StorageReadBW
+		if math.Abs(ext.Seconds-want) > 1e-12*want {
+			t.Errorf("p=%d: out-of-core %.6g s, want %.6g", p, ext.Seconds, want)
+		}
+		if ext.EdgesPerSecond >= inMem.EdgesPerSecond {
+			t.Errorf("p=%d: spilling did not cost anything", p)
+		}
 	}
 }
 

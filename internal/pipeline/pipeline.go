@@ -73,7 +73,9 @@ type Config struct {
 	Generator GeneratorKind
 	// Workers bounds goroutines in parallel variants; <= 0 means default.
 	Workers int
-	// RunEdges is the out-of-core variant's in-memory run size (edges).
+	// RunEdges is the out-of-core variants' in-memory run size in edges —
+	// extsort's external-merge buffer and distext's per-rank run buffer.
+	// Zero selects each variant's default.
 	RunEdges int
 	// SortEndVertices makes K1 sort by (u, v) instead of u only — the
 	// paper's "should the end vertices also be sorted?" open question.

@@ -16,7 +16,7 @@ func smallCfg(v string) Config {
 }
 
 func TestVariantRegistryComplete(t *testing.T) {
-	want := []string{"columnar", "coo", "csr", "dist", "distgo", "extsort", "graphblas", "parallel"}
+	want := []string{"columnar", "coo", "csr", "dist", "distext", "distgo", "extsort", "graphblas", "parallel"}
 	got := VariantNames()
 	if len(got) != len(want) {
 		t.Fatalf("variants = %v, want %v", got, want)

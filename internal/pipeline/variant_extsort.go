@@ -35,12 +35,19 @@ func (extsortVariant) runEdges(r *Run) int {
 		return r.Cfg.RunEdges
 	}
 	// Default model: a quarter of the edge list fits in memory, echoing
-	// the paper's "~25% of available RAM" sizing guidance.
-	quarter := int(r.Cfg.M() / 4)
-	if quarter < 1 {
-		quarter = 1
+	// the paper's "~25% of available RAM" sizing guidance.  M() is uint64;
+	// clamp through int64 before converting so 32-bit builds (int is 32
+	// bits) saturate at the largest representable run instead of wrapping
+	// negative at large scales.
+	quarter := r.Cfg.M() / 4
+	const maxInt = int64(^uint(0) >> 1)
+	if int64(quarter) < 0 || int64(quarter) > maxInt {
+		return int(maxInt)
 	}
-	return quarter
+	if quarter < 1 {
+		return 1
+	}
+	return int(quarter)
 }
 
 // Kernel0 implements Variant.

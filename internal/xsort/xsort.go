@@ -19,8 +19,10 @@ package xsort
 
 import (
 	"container/heap"
+	"errors"
 	"fmt"
 	"io"
+	"os"
 	"runtime"
 	"sort"
 	"sync"
@@ -241,7 +243,8 @@ func mergeRuns(l, buf *edge.List, lo, mid, hi int) {
 type ExternalConfig struct {
 	// FS receives the intermediate run files.
 	FS vfs.FS
-	// TmpPrefix names the run files; they are deleted on success.
+	// TmpPrefix names the run files; they are deleted on completion,
+	// whether the sort succeeds or fails part-way.
 	TmpPrefix string
 	// RunEdges is the number of edges sorted in memory per run.  It models
 	// the available RAM: RunEdges·16 bytes is the sorter's working set.
@@ -253,10 +256,76 @@ type ExternalConfig struct {
 // DefaultRunEdges sorts 1 Mi edges (16 MiB) per run when unset.
 const DefaultRunEdges = 1 << 20
 
+// SpillRun stably sorts buf in place (by U, or by (U, V) when byUV) and
+// writes it to fs under name in the fixed-width binary codec.  It is the
+// run-formation step of the external sorters, exported because the
+// distributed out-of-core kernel 1 forms per-rank runs the same way.
+func SpillRun(fs vfs.FS, name string, buf *edge.List, byUV bool) error {
+	if byUV {
+		RadixByUV(buf)
+	} else {
+		RadixByU(buf)
+	}
+	w, err := fs.Create(name)
+	if err != nil {
+		return err
+	}
+	sink := fastio.Binary{}.NewWriter(w)
+	for i := 0; i < buf.Len(); i++ {
+		if err := sink.WriteEdge(buf.U[i], buf.V[i]); err != nil {
+			w.Close()
+			return err
+		}
+	}
+	if err := sink.Flush(); err != nil {
+		w.Close()
+		return err
+	}
+	return w.Close()
+}
+
+// OpenRuns opens the named binary run files on fs for merging, returning
+// one streaming source per name (in the given order) and a close-all
+// function.  On error the already-opened files are closed before return.
+func OpenRuns(fs vfs.FS, names []string) ([]fastio.EdgeSource, func(), error) {
+	sources := make([]fastio.EdgeSource, len(names))
+	closers := make([]io.Closer, 0, len(names))
+	closeAll := func() {
+		for _, c := range closers {
+			c.Close()
+		}
+	}
+	for i, name := range names {
+		r, err := fs.Open(name)
+		if err != nil {
+			closeAll()
+			return nil, nil, err
+		}
+		closers = append(closers, r)
+		sources[i] = fastio.Binary{}.NewReader(r)
+	}
+	return sources, closeAll, nil
+}
+
+// RemoveRuns deletes the named run files, keeping the first failure; files
+// that are already gone are not an error (a partially failed spill may not
+// have created every name the caller tracked).
+func RemoveRuns(fs vfs.FS, names []string) error {
+	var first error
+	for _, name := range names {
+		if err := fs.Remove(name); err != nil && first == nil && !errors.Is(err, os.ErrNotExist) {
+			first = err
+		}
+	}
+	return first
+}
+
 // External sorts the edge stream src into dst using at most
 // cfg.RunEdges·16 bytes of in-memory edge storage, spilling sorted runs to
 // cfg.FS in the fixed-width binary codec and k-way merging them with a heap.
 // It returns the number of edges sorted and the number of runs spilled.
+// Run files are removed before return on success and failure alike, so an
+// aborted sort leaves no stripes behind.
 func External(src fastio.EdgeSource, dst fastio.EdgeSink, cfg ExternalConfig) (edges int, runs int, err error) {
 	if cfg.FS == nil {
 		return 0, 0, fmt.Errorf("xsort: ExternalConfig.FS is nil")
@@ -269,38 +338,26 @@ func External(src fastio.EdgeSource, dst fastio.EdgeSink, cfg ExternalConfig) (e
 	}
 	codec := fastio.Binary{}
 
-	// Phase 1: produce sorted runs.
+	// Phase 1: produce sorted runs.  Whatever happens below, the spilled
+	// stripes are gone when External returns.
 	buf := edge.NewList(cfg.RunEdges)
 	var runNames []string
+	defer func() {
+		if rmErr := RemoveRuns(cfg.FS, runNames); rmErr != nil && err == nil {
+			err = rmErr
+		}
+	}()
 	flushRun := func() error {
 		if buf.Len() == 0 {
 			return nil
 		}
-		if cfg.ByUV {
-			RadixByUV(buf)
-		} else {
-			RadixByU(buf)
-		}
 		name := fastio.StripeName(cfg.TmpPrefix, codec, len(runNames))
-		w, err := cfg.FS.Create(name)
-		if err != nil {
-			return err
-		}
-		sink := codec.NewWriter(w)
-		for i := 0; i < buf.Len(); i++ {
-			if err := sink.WriteEdge(buf.U[i], buf.V[i]); err != nil {
-				w.Close()
-				return err
-			}
-		}
-		if err := sink.Flush(); err != nil {
-			w.Close()
-			return err
-		}
-		if err := w.Close(); err != nil {
-			return err
-		}
+		// Track the name before writing: a failed spill may still have
+		// created the file, and the deferred cleanup must catch it.
 		runNames = append(runNames, name)
+		if err := SpillRun(cfg.FS, name, buf, cfg.ByUV); err != nil {
+			return err
+		}
 		buf.Reset()
 		return nil
 	}
@@ -340,15 +397,10 @@ func External(src fastio.EdgeSource, dst fastio.EdgeSink, cfg ExternalConfig) (e
 	}
 
 	// Phase 2: k-way merge.
-	if err := mergeSpilledRuns(cfg, codec, runNames, dst); err != nil {
+	if err := mergeSpilledRuns(cfg, runNames, dst); err != nil {
 		return edges, len(runNames), err
 	}
-	for _, name := range runNames {
-		if rmErr := cfg.FS.Remove(name); rmErr != nil && err == nil {
-			err = rmErr
-		}
-	}
-	return edges, len(runNames), err
+	return edges, len(runNames), nil
 }
 
 // mergeEntry is one head-of-run element in the merge heap.
@@ -383,25 +435,37 @@ func (h *mergeHeap) Pop() interface{} {
 	return it
 }
 
-func mergeSpilledRuns(cfg ExternalConfig, codec fastio.Codec, runNames []string, dst fastio.EdgeSink) error {
-	sources := make([]fastio.EdgeSource, len(runNames))
-	closers := make([]io.Closer, len(runNames))
-	defer func() {
-		for _, c := range closers {
-			if c != nil {
-				c.Close()
-			}
-		}
-	}()
-	for i, name := range runNames {
-		r, err := cfg.FS.Open(name)
-		if err != nil {
-			return err
-		}
-		closers[i] = r
-		sources[i] = codec.NewReader(r)
+func mergeSpilledRuns(cfg ExternalConfig, runNames []string, dst fastio.EdgeSink) error {
+	sources, closeAll, err := OpenRuns(cfg.FS, runNames)
+	if err != nil {
+		return err
 	}
+	defer closeAll()
 	return MergeSources(sources, dst, cfg.ByUV)
+}
+
+// MergeLists k-way merges already-sorted edge lists, appending the merged
+// stream to dst.  Ties break by list index, so merging stably-sorted lists
+// in a deterministic order is stable — the per-bucket merge step of the
+// distributed out-of-core sort, where each list is one spilled-run segment
+// and list order is (source rank, run) order.  It is MergeSources over
+// list-backed streams, so the two merges share one heap and one tie rule.
+func MergeLists(lists []*edge.List, dst *edge.List, byUV bool) {
+	switch len(lists) {
+	case 0:
+		return
+	case 1:
+		dst.AppendList(lists[0])
+		return
+	}
+	sources := make([]fastio.EdgeSource, len(lists))
+	for i, l := range lists {
+		sources[i] = fastio.NewListSource(l)
+	}
+	if err := MergeSources(sources, fastio.NewListSink(dst), byUV); err != nil {
+		// Unreachable: list sources and sinks never fail.
+		panic(err)
+	}
 }
 
 // MergeSources k-way merges already-sorted edge streams into dst,
@@ -410,7 +474,8 @@ func mergeSpilledRuns(cfg ExternalConfig, codec fastio.Codec, runNames []string,
 // It is the merge phase of the external sorter, exported because the same
 // operation combines per-processor sorted files in distributed kernel-1
 // settings.  Sources that are not actually sorted produce merged output
-// that is not sorted either; callers own that precondition.
+// that is not sorted either; callers own that precondition.  MergeLists is
+// the in-memory counterpart for segments already resident as edge lists.
 func MergeSources(sources []fastio.EdgeSource, dst fastio.EdgeSink, byUV bool) error {
 	h := &mergeHeap{byUV: byUV}
 	for i, src := range sources {

@@ -196,6 +196,151 @@ func TestExternalMultiRun(t *testing.T) {
 	}
 }
 
+// failingSink errors after accepting budget edges — a downstream
+// destination failure during the merge phase.
+type failingSink struct {
+	budget int
+}
+
+func (s *failingSink) WriteEdge(u, v uint64) error {
+	if s.budget <= 0 {
+		return vfs.ErrInjected
+	}
+	s.budget--
+	return nil
+}
+
+func (s *failingSink) Flush() error { return nil }
+
+func TestExternalFailureLeavesNoRunFiles(t *testing.T) {
+	const edges = 5000
+	l := randomList(11, edges, 1<<20)
+	// All spilled runs together are 16 bytes per edge.
+	writeBytes := int64(16 * edges)
+	cases := map[string]struct {
+		budget int64 // Faulty I/O budget
+		sink   fastio.EdgeSink
+	}{
+		"spill-fails":      {budget: writeBytes / 2, sink: fastio.NewListSink(edge.NewList(0))},
+		"merge-read-fails": {budget: writeBytes + 8, sink: fastio.NewListSink(edge.NewList(0))},
+		"merge-sink-fails": {budget: 1 << 40, sink: &failingSink{budget: edges / 2}},
+	}
+	for name, tc := range cases {
+		t.Run(name, func(t *testing.T) {
+			mem := vfs.NewMem()
+			_, _, err := External(fastio.NewListSource(l), tc.sink, ExternalConfig{
+				FS:        vfs.NewFaulty(mem, tc.budget),
+				RunEdges:  512,
+				TmpPrefix: "tmp/extsort",
+			})
+			if err == nil {
+				t.Fatal("injected failure not surfaced")
+			}
+			// The documented contract: run files are deleted on completion,
+			// success and failure alike.
+			names, lerr := mem.List()
+			if lerr != nil {
+				t.Fatal(lerr)
+			}
+			if len(names) != 0 {
+				t.Errorf("failed sort left run files behind: %v", names)
+			}
+		})
+	}
+}
+
+func TestSpillRunAndOpenRunsRoundTrip(t *testing.T) {
+	fs := vfs.NewMem()
+	a := randomList(12, 300, 1<<10)
+	b := randomList(13, 200, 1<<10)
+	for i, l := range []*edge.List{a, b} {
+		if err := SpillRun(fs, fastio.StripeName("runs", fastio.Binary{}, i), l, false); err != nil {
+			t.Fatal(err)
+		}
+		if !l.IsSortedByU() {
+			t.Fatal("SpillRun did not sort its buffer")
+		}
+	}
+	names := []string{
+		fastio.StripeName("runs", fastio.Binary{}, 0),
+		fastio.StripeName("runs", fastio.Binary{}, 1),
+	}
+	sources, closeAll, err := OpenRuns(fs, names)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closeAll()
+	merged := edge.NewList(0)
+	if err := MergeSources(sources, fastio.NewListSink(merged), false); err != nil {
+		t.Fatal(err)
+	}
+	want := edge.NewList(0)
+	want.AppendList(a)
+	want.AppendList(b)
+	RadixByU(want)
+	if !merged.IsSortedByU() || merged.Len() != want.Len() {
+		t.Fatal("merged round trip incorrect")
+	}
+	if err := RemoveRuns(fs, names); err != nil {
+		t.Fatal(err)
+	}
+	if left, _ := fs.List(); len(left) != 0 {
+		t.Fatalf("RemoveRuns left %v", left)
+	}
+	// Removing already-removed runs is not an error.
+	if err := RemoveRuns(fs, names); err != nil {
+		t.Fatalf("second RemoveRuns: %v", err)
+	}
+}
+
+func TestMergeListsStable(t *testing.T) {
+	// Three sorted lists with heavy key collisions: ties must resolve by
+	// list index, making the merge of stably-sorted slices stable.
+	lists := make([]*edge.List, 3)
+	for i := range lists {
+		lists[i] = edge.NewList(10)
+		for j := 0; j < 10; j++ {
+			lists[i].Append(uint64(j/2), uint64(i*100+j))
+		}
+	}
+	out := edge.NewList(0)
+	MergeLists(lists, out, false)
+	if !out.IsSortedByU() {
+		t.Fatal("merged output not sorted")
+	}
+	if out.Len() != 30 {
+		t.Fatalf("merged %d edges, want 30", out.Len())
+	}
+	// Within one key, list 0's edges precede list 1's precede list 2's,
+	// and within one list input order survives (V strictly increasing).
+	lastV := map[uint64]uint64{} // per source list (V/100), last V seen
+	lastList := uint64(0)
+	prevU := uint64(0)
+	for i := 0; i < out.Len(); i++ {
+		u, v := out.At(i)
+		src := v / 100
+		if u != prevU {
+			prevU, lastList = u, 0
+			lastV = map[uint64]uint64{}
+		}
+		if src < lastList {
+			t.Fatalf("tie at key %d broken out of list order", u)
+		}
+		lastList = src
+		if prev, ok := lastV[src]; ok && v <= prev {
+			t.Fatalf("list %d order not preserved at key %d", src, u)
+		}
+		lastV[src] = v
+	}
+	// Degenerate shapes.
+	empty := edge.NewList(0)
+	MergeLists(nil, empty, false)
+	MergeLists([]*edge.List{edge.NewList(0)}, empty, false)
+	if empty.Len() != 0 {
+		t.Fatal("merging empties produced edges")
+	}
+}
+
 func TestExternalByUV(t *testing.T) {
 	l := randomList(8, 3000, 32)
 	out := edge.NewList(0)
