@@ -74,8 +74,8 @@ func BenchmarkTableISLOC(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		n = len(pipeline.VariantNames())
 	}
-	if n != 7 {
-		b.Fatalf("expected 7 variants, have %d", n)
+	if n != 9 {
+		b.Fatalf("expected 9 variants, have %d", n)
 	}
 	b.ReportMetric(float64(n), "variants")
 	// The actual table: go run ./cmd/sloc
@@ -378,6 +378,36 @@ func BenchmarkAblationDistributedProcs(b *testing.B) {
 			reportEdges(b, 20*uint64(l.Len()))
 			b.ReportMetric(float64(comm.AllReduceBytes+comm.BroadcastBytes)/1e6, "commMB")
 		})
+	}
+}
+
+// Hybrid intra-rank scaling of the distributed kernel 3: p goroutine
+// ranks × w workers per rank (dist.Config.Workers).  Results are
+// bit-for-bit invariant in w; only wall clock moves.  ReportAllocs makes
+// the steady-state allocation budget visible in the bench output.
+func BenchmarkAblationHybridRankWorkers(b *testing.B) {
+	l, err := kronecker.Generate(kronecker.New(13, 1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	n := 1 << 13
+	built, err := dist.BuildFiltered(l, n, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, p := range []int{1, 4} {
+		for _, w := range []int{1, 2, 4} {
+			b.Run(fmt.Sprintf("procs=%d/workers=%d", p, w), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					cfg := dist.Config{Mode: dist.ExecGoroutine, Workers: w}
+					if _, err := dist.RunMatrixCfg(cfg, built.Matrix, p, pagerank.Options{Seed: 1}); err != nil {
+						b.Fatal(err)
+					}
+				}
+				reportEdges(b, 20*uint64(built.Matrix.NNZ()))
+			})
+		}
 	}
 }
 

@@ -25,9 +25,17 @@
 //	prbench -scale 16 -variant distext -runedges 65536
 //
 // Wall-clock scaling of the goroutine-rank runtime across processor
-// counts, with the hardware model's predicted speedup alongside:
+// counts, with the hardware model's predicted speedup alongside;
+// -rankworkers crosses in the hybrid intra-rank worker counts for a
+// p×w table (results are bit-for-bit invariant in both axes):
 //
 //	prbench -scale 16 -procsweep 1,2,4,8
+//	prbench -scale 16 -procsweep 1,2,4 -rankworkers 1,2,4
+//
+// Machine-readable output for the perf trajectory (single pipeline runs;
+// schema documented in the README, archived as BENCH_*.json by CI):
+//
+//	prbench -scale 14 -variant distgo -rankworkers 4 -json
 //
 // Hardware-model predictions for the paper's platform:
 //
@@ -35,9 +43,11 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 
 	"repro/internal/core"
@@ -54,44 +64,56 @@ import (
 
 func main() {
 	var (
-		scale      = flag.Int("scale", 16, "Graph500 scale factor S (N = 2^S)")
-		edgeFactor = flag.Int("edgefactor", 16, "average edges per vertex k")
-		seed       = flag.Uint64("seed", 1, "random seed")
-		nfiles     = flag.Int("nfiles", 1, "number of edge files (the paper's free parameter)")
-		variant    = flag.String("variant", "csr", "implementation variant, or 'all'")
-		generator  = flag.String("generator", "kronecker", "kernel-0 generator: kronecker, ppl, er")
-		workers    = flag.Int("workers", 0, "worker goroutines for parallel variants (0 = GOMAXPROCS)")
-		dir        = flag.String("dir", "", "storage directory (empty = in-memory)")
-		iterations = flag.Int("iterations", 20, "kernel-3 PageRank iterations")
-		damping    = flag.Float64("damping", 0.85, "kernel-3 damping factor c")
-		dangling   = flag.Bool("dangling", false, "apply the dangling-node correction in kernel 3")
-		sortEnds   = flag.Bool("sortends", false, "kernel 1 sorts by (u,v) instead of u")
-		kernels    = flag.String("kernels", "0123", "kernels to run, e.g. 01 or 23")
-		sweep      = flag.Bool("sweep", false, "sweep scales and emit the paper's figures 4-7")
-		minScale   = flag.Int("minscale", 16, "sweep: smallest scale")
-		maxScale   = flag.Int("maxscale", 18, "sweep: largest scale")
-		procs      = flag.Int("procs", 0, "run the distributed pipeline on this many processors (ranks)")
-		runEdges   = flag.Int("runedges", 0, "out-of-core run-buffer size in edges (extsort/distext variants; with -procs runs the out-of-core distributed sort)")
-		distMode   = flag.String("distmode", "", "distributed execution: sim or goroutine (empty = variant default); with -procs also 'both' to cross-check the modes")
-		procSweep  = flag.String("procsweep", "", "comma-separated rank counts for a goroutine-mode wall-clock scaling table")
-		predict    = flag.Bool("predict", false, "print hardware-model predictions and exit")
-		format     = flag.String("format", "table", "output format: table, csv, markdown")
-		ascii      = flag.Bool("ascii", true, "sweep: also draw ASCII log-log plots")
+		scale       = flag.Int("scale", 16, "Graph500 scale factor S (N = 2^S)")
+		edgeFactor  = flag.Int("edgefactor", 16, "average edges per vertex k")
+		seed        = flag.Uint64("seed", 1, "random seed")
+		nfiles      = flag.Int("nfiles", 1, "number of edge files (the paper's free parameter)")
+		variant     = flag.String("variant", "csr", "implementation variant, or 'all'")
+		generator   = flag.String("generator", "kronecker", "kernel-0 generator: kronecker, ppl, er")
+		workers     = flag.Int("workers", 0, "worker goroutines for parallel variants (0 = GOMAXPROCS)")
+		dir         = flag.String("dir", "", "storage directory (empty = in-memory)")
+		iterations  = flag.Int("iterations", 20, "kernel-3 PageRank iterations")
+		damping     = flag.Float64("damping", 0.85, "kernel-3 damping factor c")
+		dangling    = flag.Bool("dangling", false, "apply the dangling-node correction in kernel 3")
+		sortEnds    = flag.Bool("sortends", false, "kernel 1 sorts by (u,v) instead of u")
+		kernels     = flag.String("kernels", "0123", "kernels to run, e.g. 01 or 23")
+		sweep       = flag.Bool("sweep", false, "sweep scales and emit the paper's figures 4-7")
+		minScale    = flag.Int("minscale", 16, "sweep: smallest scale")
+		maxScale    = flag.Int("maxscale", 18, "sweep: largest scale")
+		procs       = flag.Int("procs", 0, "run the distributed pipeline on this many processors (ranks)")
+		runEdges    = flag.Int("runedges", 0, "out-of-core run-buffer size in edges (extsort/distext variants; with -procs runs the out-of-core distributed sort)")
+		distMode    = flag.String("distmode", "", "distributed execution: sim or goroutine (empty = variant default); with -procs also 'both' to cross-check the modes")
+		procSweep   = flag.String("procsweep", "", "comma-separated rank counts for a goroutine-mode wall-clock scaling table")
+		rankWorkers = flag.String("rankworkers", "1", "hybrid intra-rank worker goroutines per rank; a comma list crosses with -procsweep into a p×w table")
+		predict     = flag.Bool("predict", false, "print hardware-model predictions and exit")
+		format      = flag.String("format", "table", "output format: table, csv, markdown")
+		jsonOut     = flag.Bool("json", false, "emit a machine-readable prbench/v1 JSON report (single pipeline runs; schema in README)")
+		ascii       = flag.Bool("ascii", true, "sweep: also draw ASCII log-log plots")
 	)
 	flag.Parse()
 
+	rw, err := parseIntList(*rankWorkers)
+	if err != nil {
+		fatal(fmt.Errorf("bad -rankworkers: %w", err))
+	}
+	if *jsonOut && (*predict || *procSweep != "" || *procs > 0) {
+		fatal(fmt.Errorf("-json reports single pipeline runs; drop -predict/-procsweep/-procs"))
+	}
 	if *predict {
 		printPredictions(*scale, *format)
 		return
 	}
 	if *procSweep != "" {
-		if err := runProcSweep(*scale, *edgeFactor, *seed, *procSweep, *iterations, *damping, *dangling, *format); err != nil {
+		if err := runProcSweep(*scale, *edgeFactor, *seed, *procSweep, rw, *iterations, *damping, *dangling, *format); err != nil {
 			fatal(err)
 		}
 		return
 	}
+	if len(rw) != 1 {
+		fatal(fmt.Errorf("-rankworkers accepts a list only with -procsweep"))
+	}
 	if *procs > 0 {
-		if err := runDistributed(*scale, *edgeFactor, *seed, *procs, *iterations, *damping, *dangling, *distMode, *runEdges); err != nil {
+		if err := runDistributed(*scale, *edgeFactor, *seed, *procs, rw[0], *iterations, *damping, *dangling, *distMode, *runEdges); err != nil {
 			fatal(err)
 		}
 		return
@@ -102,6 +124,9 @@ func main() {
 		fatal(fmt.Errorf("-distmode both requires -procs; use -distmode sim or goroutine with -variant"))
 	}
 	if *sweep {
+		if *jsonOut {
+			fatal(fmt.Errorf("-json reports single pipeline runs; drop -sweep"))
+		}
 		if err := runSweep(*minScale, *maxScale, *edgeFactor, *seed, *variant, *format, *ascii); err != nil {
 			fatal(err)
 		}
@@ -119,6 +144,7 @@ func main() {
 		RunEdges:        *runEdges,
 		SortEndVertices: *sortEnds,
 		DistMode:        *distMode,
+		RankWorkers:     rw[0],
 		PageRank: pagerank.Options{
 			Iterations: *iterations,
 			Damping:    *damping,
@@ -140,7 +166,26 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	if *jsonOut {
+		if err := printResultJSON(res); err != nil {
+			fatal(err)
+		}
+		return
+	}
 	printResult(res, *format)
+}
+
+// parseIntList parses a comma-separated list of positive integers.
+func parseIntList(s string) ([]int, error) {
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || v < 1 {
+			return nil, fmt.Errorf("bad entry %q (want positive integers)", f)
+		}
+		out = append(out, v)
+	}
+	return out, nil
 }
 
 func fatal(err error) {
@@ -179,6 +224,89 @@ func emit(t *results.Table, format string) {
 	default:
 		fmt.Print(t.Plain())
 	}
+}
+
+// The prbench/v1 JSON schema (documented in the README): one object per
+// pipeline run, the per-kernel rows of the table plus the allocation and
+// communication counters that seed the BENCH_*.json perf trajectory.
+type jsonKernel struct {
+	Kernel         string  `json:"kernel"`
+	Seconds        float64 `json:"seconds"`
+	Edges          uint64  `json:"edges"`
+	EdgesPerSecond float64 `json:"edgesPerSecond"`
+	Allocs         uint64  `json:"allocs"`
+}
+
+type jsonComm struct {
+	AllToAllBytes  uint64 `json:"allToAllBytes"`
+	AllReduceCalls uint64 `json:"allReduceCalls"`
+	AllReduceBytes uint64 `json:"allReduceBytes"`
+	BroadcastCalls uint64 `json:"broadcastCalls"`
+	BroadcastBytes uint64 `json:"broadcastBytes"`
+	TotalBytes     uint64 `json:"totalBytes"`
+}
+
+type jsonReport struct {
+	Schema      string       `json:"schema"`
+	Scale       int          `json:"scale"`
+	EdgeFactor  int          `json:"edgeFactor"`
+	Seed        uint64       `json:"seed"`
+	Variant     string       `json:"variant"`
+	Generator   string       `json:"generator"`
+	Workers     int          `json:"workers"`
+	RankWorkers int          `json:"rankWorkers"`
+	DistMode    string       `json:"distMode"`
+	RunEdges    int          `json:"runEdges,omitempty"`
+	N           uint64       `json:"n"`
+	M           uint64       `json:"m"`
+	Kernels     []jsonKernel `json:"kernels"`
+	NNZ         int          `json:"nnz,omitempty"`
+	MatrixMass  float64      `json:"matrixMass,omitempty"`
+	Iterations  int          `json:"iterations,omitempty"`
+	Comm        *jsonComm    `json:"comm,omitempty"`
+}
+
+// printResultJSON emits the prbench/v1 report for one pipeline run.
+func printResultJSON(res *core.Result) error {
+	rep := jsonReport{
+		Schema:      "prbench/v1",
+		Scale:       res.Config.Scale,
+		EdgeFactor:  res.Config.EdgeFactor,
+		Seed:        res.Config.Seed,
+		Variant:     res.Config.Variant,
+		Generator:   string(res.Config.Generator),
+		Workers:     res.Config.Workers,
+		RankWorkers: res.Config.RankWorkers,
+		DistMode:    res.Config.DistMode,
+		RunEdges:    res.Config.RunEdges,
+		N:           res.Config.N(),
+		M:           res.Config.M(),
+		NNZ:         res.NNZ,
+		MatrixMass:  res.MatrixMass,
+		Iterations:  res.RankIterations,
+	}
+	for _, k := range res.Kernels {
+		rep.Kernels = append(rep.Kernels, jsonKernel{
+			Kernel:         k.Kernel.String(),
+			Seconds:        k.Seconds,
+			Edges:          k.Edges,
+			EdgesPerSecond: k.EdgesPerSecond,
+			Allocs:         k.Allocs,
+		})
+	}
+	if res.Comm != nil {
+		rep.Comm = &jsonComm{
+			AllToAllBytes:  res.Comm.AllToAllBytes,
+			AllReduceCalls: res.Comm.AllReduceCalls,
+			AllReduceBytes: res.Comm.AllReduceBytes,
+			BroadcastCalls: res.Comm.BroadcastCalls,
+			BroadcastBytes: res.Comm.BroadcastBytes,
+			TotalBytes:     res.Comm.AllToAllBytes + res.Comm.AllReduceBytes + res.Comm.BroadcastBytes,
+		}
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
 }
 
 func printResult(res *core.Result, format string) {
@@ -251,7 +379,7 @@ func runSweep(minScale, maxScale, edgeFactor int, seed uint64, variant, format s
 	return nil
 }
 
-func runDistributed(scale, edgeFactor int, seed uint64, procs, iterations int, damping float64, dangling bool, mode string, runEdges int) error {
+func runDistributed(scale, edgeFactor int, seed uint64, procs, rankWorkers, iterations int, damping float64, dangling bool, mode string, runEdges int) error {
 	kcfg := kronecker.New(scale, seed)
 	kcfg.EdgeFactor = edgeFactor
 	l, err := kronecker.Generate(kcfg)
@@ -277,11 +405,11 @@ func runDistributed(scale, edgeFactor int, seed uint64, procs, iterations int, d
 	}
 	var first *dist.Result
 	for _, m := range modes {
-		res, err := dist.RunMode(m, l, int(kcfg.N()), procs, opt)
+		res, err := dist.RunCfg(dist.Config{Mode: m, Workers: rankWorkers}, l, int(kcfg.N()), procs, opt)
 		if err != nil {
 			return err
 		}
-		fmt.Printf("distributed pipeline (%v): scale %d, %d ranks\n", m, scale, procs)
+		fmt.Printf("distributed pipeline (%v): scale %d, %d ranks × %d workers\n", m, scale, procs, rankWorkers)
 		fmt.Printf("  filtered nonzeros:  %d\n", res.NNZ)
 		fmt.Printf("  all-reduce calls:   %d (%.3g MB)\n", res.Comm.AllReduceCalls, float64(res.Comm.AllReduceBytes)/1e6)
 		fmt.Printf("  broadcast calls:    %d (%.3g MB)\n", res.Comm.BroadcastCalls, float64(res.Comm.BroadcastBytes)/1e6)
@@ -349,16 +477,14 @@ func runExternalSort(l *edge.List, procs, runEdges int, modes []dist.ExecMode) e
 }
 
 // runProcSweep runs the goroutine-rank pipeline at each requested rank
-// count and tabulates wall-clock scaling next to the hardware model's
-// predicted speedup, asserting the byte identity at every p.
-func runProcSweep(scale, edgeFactor int, seed uint64, sweep string, iterations int, damping float64, dangling bool, format string) error {
-	var ps []int
-	for _, f := range strings.Split(sweep, ",") {
-		var p int
-		if _, err := fmt.Sscanf(strings.TrimSpace(f), "%d", &p); err != nil || p < 1 {
-			return fmt.Errorf("bad -procsweep entry %q", f)
-		}
-		ps = append(ps, p)
+// count crossed with each hybrid intra-rank worker count, tabulating
+// wall-clock scaling next to the hardware model's predicted speedup and
+// asserting the byte identity at every (p, w) — the Workers axis must
+// change wall clock only, never a byte.
+func runProcSweep(scale, edgeFactor int, seed uint64, sweep string, workerCounts []int, iterations int, damping float64, dangling bool, format string) error {
+	ps, err := parseIntList(sweep)
+	if err != nil {
+		return fmt.Errorf("bad -procsweep: %w", err)
 	}
 	kcfg := kronecker.New(scale, seed)
 	kcfg.EdgeFactor = edgeFactor
@@ -368,35 +494,39 @@ func runProcSweep(scale, edgeFactor int, seed uint64, sweep string, iterations i
 	}
 	n := int(kcfg.N())
 	h := perfmodel.PaperNode()
-	w := perfmodel.Workload{Scale: scale, EdgeFactor: edgeFactor, Iterations: iterations}
 	t := results.NewTable(
 		fmt.Sprintf("Goroutine-rank scaling: scale %d, %d iterations", scale, iterations),
-		"ranks", "slowest rank s", "speedup", "model speedup", "imbalance", "comm MB", "bytes=model")
-	base := 0.0
+		"ranks", "workers", "slowest rank s", "speedup", "model speedup", "imbalance", "comm MB", "bytes=model")
+	base, modelBase := 0.0, 0.0
 	for _, p := range ps {
-		opt := pagerank.Options{Iterations: iterations, Damping: damping, Dangling: dangling, Seed: seed}
-		res, err := dist.RunMode(dist.ExecGoroutine, l, n, p, opt)
-		if err != nil {
-			return err
-		}
-		cmp, err := perfmodel.CompareRankElapsed(h, w, res.RankSeconds)
-		if err != nil {
-			return err
-		}
-		if base == 0 {
-			base = cmp.MeasuredSeconds
-		}
-		measured := res.Comm.AllReduceBytes + res.Comm.BroadcastBytes
-		exact := measured == dist.PredictedCommBytes(n, p, res.Iterations, dangling)
-		t.AddRow(fmt.Sprintf("%d", p),
-			fmt.Sprintf("%.4f", cmp.MeasuredSeconds),
-			fmt.Sprintf("%.2f", base/cmp.MeasuredSeconds),
-			fmt.Sprintf("%.2f", perfmodel.Speedup(h, w, p)),
-			fmt.Sprintf("%.2f", cmp.Imbalance),
-			fmt.Sprintf("%.3g", float64(measured)/1e6),
-			fmt.Sprintf("%v", exact))
-		if !exact {
-			return fmt.Errorf("p=%d: measured channel bytes diverge from PredictedCommBytes", p)
+		for _, rw := range workerCounts {
+			opt := pagerank.Options{Iterations: iterations, Damping: damping, Dangling: dangling, Seed: seed}
+			res, err := dist.RunCfg(dist.Config{Mode: dist.ExecGoroutine, Workers: rw}, l, n, p, opt)
+			if err != nil {
+				return err
+			}
+			w := perfmodel.Workload{Scale: scale, EdgeFactor: edgeFactor, Iterations: iterations, RankWorkers: rw}
+			cmp, err := perfmodel.CompareRankElapsed(h, w, res.RankSeconds)
+			if err != nil {
+				return err
+			}
+			if base == 0 {
+				base = cmp.MeasuredSeconds
+				modelBase = perfmodel.ParallelKernel3(h, w, p).EdgesPerSecond
+			}
+			measured := res.Comm.AllReduceBytes + res.Comm.BroadcastBytes
+			exact := measured == dist.PredictedCommBytes(n, p, res.Iterations, dangling)
+			t.AddRow(fmt.Sprintf("%d", p),
+				fmt.Sprintf("%d", rw),
+				fmt.Sprintf("%.4f", cmp.MeasuredSeconds),
+				fmt.Sprintf("%.2f", base/cmp.MeasuredSeconds),
+				fmt.Sprintf("%.2f", perfmodel.ParallelKernel3(h, w, p).EdgesPerSecond/modelBase),
+				fmt.Sprintf("%.2f", cmp.Imbalance),
+				fmt.Sprintf("%.3g", float64(measured)/1e6),
+				fmt.Sprintf("%v", exact))
+			if !exact {
+				return fmt.Errorf("p=%d w=%d: measured channel bytes diverge from PredictedCommBytes", p, rw)
+			}
 		}
 	}
 	emit(t, format)

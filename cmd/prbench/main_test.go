@@ -28,3 +28,15 @@ func TestParseKernels(t *testing.T) {
 		t.Error("garbage accepted")
 	}
 }
+
+func TestParseIntList(t *testing.T) {
+	got, err := parseIntList("1,2, 8")
+	if err != nil || len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 8 {
+		t.Fatalf("parseIntList(1,2, 8) = %v, %v", got, err)
+	}
+	for _, bad := range []string{"", "0", "-1", "a", "1,,2"} {
+		if _, err := parseIntList(bad); err == nil {
+			t.Errorf("parseIntList(%q) accepted", bad)
+		}
+	}
+}

@@ -109,6 +109,18 @@ func DistributedRunMode(mode ExecMode, l *edge.List, n, p int, opt PageRankOptio
 	return dist.RunMode(mode, l, n, p, opt)
 }
 
+// DistConfig is the distributed runtime's full configuration: execution
+// mode plus the hybrid intra-rank worker count.  See dist.Config.
+type DistConfig = dist.Config
+
+// DistributedRunCfg executes the distributed kernel-2/kernel-3 pipeline
+// under the full runtime configuration; DistConfig.Workers spins that
+// many worker goroutines inside every rank (hybrid MPI+OpenMP-style
+// execution) without changing a bit of the result.  See dist.RunCfg.
+func DistributedRunCfg(cfg DistConfig, l *edge.List, n, p int, opt PageRankOptions) (*dist.Result, error) {
+	return dist.RunCfg(cfg, l, n, p, opt)
+}
+
 // PredictKernels returns the hardware-model predictions for all four
 // kernels on the paper's test platform.
 func PredictKernels(scale int) [4]perfmodel.Prediction {

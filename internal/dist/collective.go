@@ -23,6 +23,13 @@ package dist
 //   - Payload slices are copied at the sender (or ownership is handed
 //     over, for the edge exchange whose outboxes the sender never touches
 //     again); ranks share no mutable state through messages.
+//   - Float and key payloads travel in pooled envelopes (vecMsg/keyMsg)
+//     recycled through the fabric's free lists, so the steady-state
+//     kernel-3 collectives allocate nothing.  Ownership hands off at the
+//     link: the sender must not touch an envelope after sending, and the
+//     receiver owns it from the moment it is taken off the link and must
+//     release it back to the pool once the payload is consumed
+//     (DESIGN.md §7 amends the §5 contract with these rules).
 //   - Byte accounting is sender-side: each rank meters the payload bytes
 //     it puts on the wire, using the same wire-cost formulas as the
 //     simulation (dist.go), and the driver sums the per-rank records.
@@ -31,6 +38,7 @@ package dist
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/edge"
 )
@@ -41,11 +49,28 @@ import (
 // that only loosens the lockstep, it is not needed for liveness.
 const linkBuf = 4
 
-// fabric is the message plane of one goroutine run: p² dedicated links.
+// fabric is the message plane of one goroutine run: p² dedicated links
+// plus the shared envelope pools.
 type fabric struct {
 	p     int
 	links []chan any // links[src*p+dst]
+
+	// mu guards the envelope free lists.  A plain mutex-protected list —
+	// rather than a sync.Pool — keeps the steady-state allocation count
+	// deterministically zero: the garbage collector cannot empty it
+	// between iterations.
+	mu       sync.Mutex
+	freeVecs []*vecMsg
+	freeKeys []*keyMsg
 }
+
+// vecMsg is a pooled float64 payload envelope: rank-vector replicas,
+// in-degree partials and (at length 1) the scalar reductions.
+type vecMsg struct{ buf []float64 }
+
+// keyMsg is a pooled uint64 payload envelope: the sort's samples and
+// splitters.
+type keyMsg struct{ buf []uint64 }
 
 func newFabric(p int) *fabric {
 	f := &fabric{p: p, links: make([]chan any, p*p)}
@@ -53,6 +78,61 @@ func newFabric(p int) *fabric {
 		f.links[i] = make(chan any, linkBuf)
 	}
 	return f
+}
+
+// getVec takes a float envelope of length n from the pool (allocating
+// only when the pool is dry — in steady state it never is).
+func (f *fabric) getVec(n int) *vecMsg {
+	f.mu.Lock()
+	var m *vecMsg
+	if last := len(f.freeVecs) - 1; last >= 0 {
+		m = f.freeVecs[last]
+		f.freeVecs[last] = nil
+		f.freeVecs = f.freeVecs[:last]
+	}
+	f.mu.Unlock()
+	if m == nil {
+		m = &vecMsg{}
+	}
+	if cap(m.buf) < n {
+		m.buf = make([]float64, n)
+	}
+	m.buf = m.buf[:n]
+	return m
+}
+
+// putVec releases a float envelope back to the pool.  The caller must not
+// touch it afterwards.
+func (f *fabric) putVec(m *vecMsg) {
+	f.mu.Lock()
+	f.freeVecs = append(f.freeVecs, m)
+	f.mu.Unlock()
+}
+
+// getKeys and putKeys are the key-envelope counterparts.
+func (f *fabric) getKeys(n int) *keyMsg {
+	f.mu.Lock()
+	var m *keyMsg
+	if last := len(f.freeKeys) - 1; last >= 0 {
+		m = f.freeKeys[last]
+		f.freeKeys[last] = nil
+		f.freeKeys = f.freeKeys[:last]
+	}
+	f.mu.Unlock()
+	if m == nil {
+		m = &keyMsg{}
+	}
+	if cap(m.buf) < n {
+		m.buf = make([]uint64, n)
+	}
+	m.buf = m.buf[:n]
+	return m
+}
+
+func (f *fabric) putKeys(m *keyMsg) {
+	f.mu.Lock()
+	f.freeKeys = append(f.freeKeys, m)
+	f.mu.Unlock()
 }
 
 // comm returns rank r's handle on the fabric.
@@ -75,30 +155,42 @@ func (c *rankComm) send(dst int, m any) { c.f.links[c.rank*c.f.p+dst] <- m }
 // recv takes the next message on the link from src.
 func (c *rankComm) recv(src int) any { return <-c.f.links[src*c.f.p+c.rank] }
 
-// recvFloats takes the next message from src, which the schedule
-// guarantees is a float64 vector; a mismatch is a protocol bug.
-func (c *rankComm) recvFloats(src int) []float64 {
-	v, ok := c.recv(src).([]float64)
+// recvVec takes the next message from src, which the schedule guarantees
+// is a pooled float envelope; a mismatch is a protocol bug.  Ownership
+// transfers to the receiver, which must release the envelope with putVec
+// once the payload is consumed.
+func (c *rankComm) recvVec(src int) *vecMsg {
+	v, ok := c.recv(src).(*vecMsg)
 	if !ok {
-		panic(fmt.Sprintf("dist: rank %d expected []float64 from rank %d", c.rank, src))
+		panic(fmt.Sprintf("dist: rank %d expected float payload from rank %d", c.rank, src))
 	}
 	return v
 }
 
-func (c *rankComm) recvKeys(src int) []uint64 {
-	v, ok := c.recv(src).([]uint64)
+// recvKeyMsg is recvVec for the pooled key envelope.
+func (c *rankComm) recvKeyMsg(src int) *keyMsg {
+	v, ok := c.recv(src).(*keyMsg)
 	if !ok {
-		panic(fmt.Sprintf("dist: rank %d expected []uint64 from rank %d", c.rank, src))
+		panic(fmt.Sprintf("dist: rank %d expected key payload from rank %d", c.rank, src))
 	}
 	return v
 }
 
-func (c *rankComm) recvScalar(src int) float64 {
-	v, ok := c.recv(src).(float64)
-	if !ok {
-		panic(fmt.Sprintf("dist: rank %d expected float64 from rank %d", c.rank, src))
-	}
-	return v
+// sendVecCopy ships a private copy of vec to dst in a pooled envelope —
+// the sender-copies rule of the §5 contract without the per-send
+// allocation it used to cost.
+func (c *rankComm) sendVecCopy(dst int, vec []float64) {
+	m := c.f.getVec(len(vec))
+	copy(m.buf, vec)
+	c.send(dst, m)
+}
+
+// sendScalar ships one float64 in a length-1 pooled envelope (boxing a
+// bare float64 into the link's interface type would allocate per send).
+func (c *rankComm) sendScalar(dst int, v float64) {
+	m := c.f.getVec(1)
+	m.buf[0] = v
+	c.send(dst, m)
 }
 
 func (c *rankComm) recvEdges(src int) *edge.List {
@@ -131,6 +223,11 @@ func (c *rankComm) recvString(src int) string {
 // partial first — the association the simulation uses), then redistributes
 // the result.  Wire volume is 2·8·len·(p-1), charged half to the gathering
 // senders and half to the root's redistribution.
+// allReduceSum is the kernel-3 steady-state hot path, so every payload
+// travels in a pooled envelope: the senders copy into envelopes, the root
+// folds each contribution and immediately releases it, and every receiver
+// copies out and releases — zero heap allocations per call once the pool
+// is warm.
 func (c *rankComm) allReduceSum(vec []float64) {
 	p := c.procs()
 	if p == 1 {
@@ -139,22 +236,27 @@ func (c *rankComm) allReduceSum(vec []float64) {
 	if c.rank == 0 {
 		c.st.AllReduceCalls++
 		for src := 1; src < p; src++ {
-			for i, v := range c.recvFloats(src) {
+			m := c.recvVec(src)
+			for i, v := range m.buf {
 				vec[i] += v
 			}
+			c.f.putVec(m)
 		}
 		for dst := 1; dst < p; dst++ {
-			c.send(dst, append([]float64(nil), vec...))
+			c.sendVecCopy(dst, vec)
 			c.st.AllReduceBytes += floatWireBytes * uint64(len(vec))
 		}
 	} else {
-		c.send(0, append([]float64(nil), vec...))
+		c.sendVecCopy(0, vec)
 		c.st.AllReduceBytes += floatWireBytes * uint64(len(vec))
-		copy(vec, c.recvFloats(0))
+		m := c.recvVec(0)
+		copy(vec, m.buf)
+		c.f.putVec(m)
 	}
 }
 
-// allReduceScalar is allReduceSum for a single float64 contribution.
+// allReduceScalar is allReduceSum for a single float64 contribution,
+// carried in a length-1 pooled envelope.
 func (c *rankComm) allReduceScalar(v float64) float64 {
 	p := c.procs()
 	if p == 1 {
@@ -163,22 +265,29 @@ func (c *rankComm) allReduceScalar(v float64) float64 {
 	if c.rank == 0 {
 		c.st.AllReduceCalls++
 		for src := 1; src < p; src++ {
-			v += c.recvScalar(src)
+			m := c.recvVec(src)
+			v += m.buf[0]
+			c.f.putVec(m)
 		}
 		for dst := 1; dst < p; dst++ {
-			c.send(dst, v)
+			c.sendScalar(dst, v)
 			c.st.AllReduceBytes += floatWireBytes
 		}
 		return v
 	}
-	c.send(0, v)
+	c.sendScalar(0, v)
 	c.st.AllReduceBytes += floatWireBytes
-	return c.recvScalar(0)
+	m := c.recvVec(0)
+	v = m.buf[0]
+	c.f.putVec(m)
+	return v
 }
 
 // broadcastFloats ships rank 0's vector to every rank and returns each
 // rank's private replica (the root's own argument on rank 0).  Non-roots
-// pass nil.
+// pass nil.  The replica is a fresh slice — the caller keeps it for the
+// whole run, so the envelope is copied out and released (a once-per-run
+// allocation, not a steady-state one).
 func (c *rankComm) broadcastFloats(vec []float64) []float64 {
 	p := c.procs()
 	if p == 1 {
@@ -187,16 +296,20 @@ func (c *rankComm) broadcastFloats(vec []float64) []float64 {
 	if c.rank == 0 {
 		c.st.BroadcastCalls++
 		for dst := 1; dst < p; dst++ {
-			c.send(dst, append([]float64(nil), vec...))
+			c.sendVecCopy(dst, vec)
 			c.st.BroadcastBytes += floatWireBytes * uint64(len(vec))
 		}
 		return vec
 	}
-	return c.recvFloats(0)
+	m := c.recvVec(0)
+	out := append([]float64(nil), m.buf...)
+	c.f.putVec(m)
+	return out
 }
 
 // broadcastKeys ships rank 0's key slice (the sort's splitters) to every
-// rank; non-roots pass nil.
+// rank; non-roots pass nil and receive a fresh copy (the splitters are
+// held for the whole sort, so the envelope is released immediately).
 func (c *rankComm) broadcastKeys(keys []uint64) []uint64 {
 	p := c.procs()
 	if p == 1 {
@@ -205,12 +318,17 @@ func (c *rankComm) broadcastKeys(keys []uint64) []uint64 {
 	if c.rank == 0 {
 		c.st.BroadcastCalls++
 		for dst := 1; dst < p; dst++ {
-			c.send(dst, append([]uint64(nil), keys...))
+			m := c.f.getKeys(len(keys))
+			copy(m.buf, keys)
+			c.send(dst, m)
 			c.st.BroadcastBytes += keyWireBytes * uint64(len(keys))
 		}
 		return keys
 	}
-	return c.recvKeys(0)
+	m := c.recvKeyMsg(0)
+	out := append([]uint64(nil), m.buf...)
+	c.f.putKeys(m)
+	return out
 }
 
 // gatherKeys collects every rank's key slice at rank 0 in ascending rank
@@ -225,11 +343,15 @@ func (c *rankComm) gatherKeys(keys []uint64) [][]uint64 {
 		all := make([][]uint64, p)
 		all[0] = keys
 		for src := 1; src < p; src++ {
-			all[src] = c.recvKeys(src)
+			m := c.recvKeyMsg(src)
+			all[src] = append([]uint64(nil), m.buf...)
+			c.f.putKeys(m)
 		}
 		return all
 	}
-	c.send(0, append([]uint64(nil), keys...))
+	m := c.f.getKeys(len(keys))
+	copy(m.buf, keys)
+	c.send(0, m)
 	c.st.AllToAllBytes += keyWireBytes * uint64(len(keys))
 	return nil
 }

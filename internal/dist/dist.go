@@ -29,10 +29,11 @@ type CommStats struct {
 	BroadcastBytes uint64
 }
 
-// add accumulates another record (used to total per-rank records of the
-// goroutine runtime; byte counts are sender-side, so the sum is the wire
-// total).
-func (s *CommStats) add(o CommStats) {
+// Add accumulates another record — the driver totals the goroutine
+// runtime's per-rank records with it (byte counts are sender-side, so the
+// sum is the wire total), and the pipeline's dist variants total their
+// kernels' records into one per-run trajectory entry.
+func (s *CommStats) Add(o CommStats) {
 	s.AllToAllBytes += o.AllToAllBytes
 	s.AllReduceCalls += o.AllReduceCalls
 	s.AllReduceBytes += o.AllReduceBytes

@@ -20,6 +20,15 @@
 //     concurrent goroutine ranks that exchange real messages over typed
 //     channels, counting the payload bytes actually sent.
 //
+// Config (RunCfg, RunMatrixCfg, SortCfg) adds the hybrid second level of
+// the paper's decomposition: Config.Workers spins that many worker
+// goroutines inside each rank for its local kernel-3 block product and
+// kernel-1 partitioning, in either mode.  The worker count is a pure
+// wall-clock knob — results, CommStats and PredictedCommBytes are
+// bit-for-bit invariant in it — and the steady-state iteration performs
+// zero heap allocations (pooled collective buffers, persistent worker
+// teams, preallocated iteration vectors; DESIGN.md §7).
+//
 // Because both modes execute the same schedule from the same shared steps
 // and wire-cost formulas (DESIGN.md §5 documents the contract), their
 // results are bit-for-bit identical and their CommStats are equal — to

@@ -65,25 +65,39 @@ func ParseExecMode(s string) (ExecMode, error) {
 // execution mode.  Both modes produce bit-for-bit identical Rank vectors
 // and identical CommStats; ExecGoroutine additionally fills RankSeconds.
 func RunMode(mode ExecMode, l *edge.List, n, p int, opt pagerank.Options) (*Result, error) {
-	switch mode {
+	return RunCfg(Config{Mode: mode}, l, n, p, opt)
+}
+
+// RunCfg executes the distributed kernel-2/kernel-3 pipeline under the
+// full runtime configuration: execution mode plus hybrid intra-rank
+// workers.  The result — rank vector bits and CommStats alike — is
+// invariant in both Mode and Workers; only wall clock changes.
+func RunCfg(cfg Config, l *edge.List, n, p int, opt pagerank.Options) (*Result, error) {
+	switch cfg.Mode {
 	case ExecSim:
-		return Run(l, n, p, opt)
+		return runSim(cfg, l, n, p, opt)
 	case ExecGoroutine:
-		return runGoroutine(l, n, p, opt)
+		return runGoroutine(cfg, l, n, p, opt)
 	default:
-		return nil, fmt.Errorf("dist: unknown execution mode %v", mode)
+		return nil, fmt.Errorf("dist: unknown execution mode %v", cfg.Mode)
 	}
 }
 
 // SortMode executes the distributed sample sort in the given mode.
 func SortMode(mode ExecMode, l *edge.List, p int) (*SortResult, error) {
-	switch mode {
+	return SortCfg(Config{Mode: mode}, l, p)
+}
+
+// SortCfg executes the distributed sample sort under the full runtime
+// configuration; Workers parallelizes each rank's bucket partitioning.
+func SortCfg(cfg Config, l *edge.List, p int) (*SortResult, error) {
+	switch cfg.Mode {
 	case ExecSim:
-		return Sort(l, p)
+		return sortSim(cfg, l, p)
 	case ExecGoroutine:
-		return sortGoroutine(l, p)
+		return sortGoroutine(cfg, l, p)
 	default:
-		return nil, fmt.Errorf("dist: unknown execution mode %v", mode)
+		return nil, fmt.Errorf("dist: unknown execution mode %v", cfg.Mode)
 	}
 }
 
@@ -102,9 +116,15 @@ func BuildFilteredMode(mode ExecMode, l *edge.List, n, p int) (*BuildResult, err
 // RunMatrixMode executes the distributed kernel-3 iteration on a built
 // matrix in the given mode.
 func RunMatrixMode(mode ExecMode, a *sparse.CSR, p int, opt pagerank.Options) (*Result, error) {
-	switch mode {
+	return RunMatrixCfg(Config{Mode: mode}, a, p, opt)
+}
+
+// RunMatrixCfg executes the distributed kernel-3 iteration on a built
+// matrix under the full runtime configuration.
+func RunMatrixCfg(cfg Config, a *sparse.CSR, p int, opt pagerank.Options) (*Result, error) {
+	switch cfg.Mode {
 	case ExecSim:
-		return RunMatrix(a, p, opt)
+		return runMatrixSim(cfg, a, p, opt)
 	case ExecGoroutine:
 		if a == nil {
 			return nil, fmt.Errorf("dist: RunMatrix of nil matrix")
@@ -114,7 +134,7 @@ func RunMatrixMode(mode ExecMode, a *sparse.CSR, p int, opt pagerank.Options) (*
 		}
 		states := splitMatrix(a, p)
 		out, err := spawnRanks(p, func(c *rankComm) rankOutcome {
-			rank, iters, err := iterateRank(c, states[c.rank], a.N, opt)
+			rank, iters, err := iterateRank(c, states[c.rank], a.N, opt, cfg.workers())
 			return rankOutcome{rank: rank, iters: iters, err: err}
 		})
 		if err != nil {
@@ -123,7 +143,7 @@ func RunMatrixMode(mode ExecMode, a *sparse.CSR, p int, opt pagerank.Options) (*
 		out.result.NNZ = a.NNZ()
 		return out.result, nil
 	default:
-		return nil, fmt.Errorf("dist: unknown execution mode %v", mode)
+		return nil, fmt.Errorf("dist: unknown execution mode %v", cfg.Mode)
 	}
 }
 
@@ -189,19 +209,19 @@ func spawnRanks(p int, program func(c *rankComm) rankOutcome) (*joined, error) {
 		RankSeconds: seconds,
 	}
 	for r := 0; r < p; r++ {
-		res.Comm.add(comms[r].st)
+		res.Comm.Add(comms[r].st)
 	}
 	return &joined{outcomes: outcomes, result: res}, nil
 }
 
 // runGoroutine is the concurrent execution of Run's schedule.
-func runGoroutine(l *edge.List, n, p int, opt pagerank.Options) (*Result, error) {
+func runGoroutine(cfg Config, l *edge.List, n, p int, opt pagerank.Options) (*Result, error) {
 	if err := validateRun(l, n, p); err != nil {
 		return nil, err
 	}
 	out, err := spawnRanks(p, func(c *rankComm) rankOutcome {
 		st, mass, nnz := buildRank(c, l, n)
-		rank, iters, err := iterateRank(c, st, n, opt)
+		rank, iters, err := iterateRank(c, st, n, opt, cfg.workers())
 		return rankOutcome{st: st, rank: rank, iters: iters, mass: mass, nnz: nnz, err: err}
 	})
 	if err != nil {
@@ -275,8 +295,12 @@ func buildRank(c *rankComm, l *edge.List, n int) (*rankState, float64, int) {
 // dangling-mass hook all-reducing the owned dangling rows' mass.  Every
 // replica follows a byte-identical trajectory — the all-reduce hands all
 // ranks the root's rank-ordered sum — so rank 0's result is the global
-// result, equal to the simulation's bit for bit.
-func iterateRank(c *rankComm, st *rankState, n int, opt pagerank.Options) ([]float64, int, error) {
+// result, equal to the simulation's bit for bit.  With workers > 1 the
+// local product runs on the rank's persistent hybrid team (spmvOf),
+// bit-for-bit invariantly; combined with the engine's preallocated
+// vectors and the fabric's pooled buffers, the steady-state iteration
+// performs no heap allocation on any rank.
+func iterateRank(c *rankComm, st *rankState, n int, opt pagerank.Options, workers int) ([]float64, int, error) {
 	var r0 []float64
 	if c.rank == 0 {
 		if opt.InitialRank != nil {
@@ -286,8 +310,12 @@ func iterateRank(c *rankComm, st *rankState, n int, opt pagerank.Options) ([]flo
 		}
 	}
 	opt.InitialRank = c.broadcastFloats(r0) // RunCustom copies, not aliases
+	spmv, h := spmvOf(st, workers)
+	if h != nil {
+		defer h.close()
+	}
 	step := func(out, r []float64) {
-		st.blk.vxm(out, r)
+		spmv(out, r)
 		c.allReduceSum(out)
 	}
 	dangleMass := func(r []float64) float64 {
@@ -304,7 +332,7 @@ func iterateRank(c *rankComm, st *rankState, n int, opt pagerank.Options) ([]flo
 // samples, routes and sorts its bucket, and the driver concatenates the
 // buckets in rank order (the unmetered "output stays distributed"
 // convention the simulation shares).
-func sortGoroutine(l *edge.List, p int) (*SortResult, error) {
+func sortGoroutine(cfg Config, l *edge.List, p int) (*SortResult, error) {
 	if l == nil {
 		return nil, fmt.Errorf("dist: Sort of nil edge list")
 	}
@@ -318,7 +346,7 @@ func sortGoroutine(l *edge.List, p int) (*SortResult, error) {
 		return &SortResult{Sorted: out}, nil
 	}
 	out, err := spawnRanks(p, func(c *rankComm) rankOutcome {
-		return rankOutcome{edges: sortRank(c, l)}
+		return rankOutcome{edges: sortRank(c, l, cfg.workers())}
 	})
 	if err != nil {
 		return nil, err
@@ -425,20 +453,15 @@ func splitterPhase(c *rankComm, l *edge.List, lo, hi int) []uint64 {
 
 // sortRank is one rank's sample-sort program: sample the owned chunk,
 // gather samples at rank 0, receive the broadcast splitters, exchange
-// edges by key range, and stably sort the resulting bucket.
-func sortRank(c *rankComm, l *edge.List) *edge.List {
+// edges by key range (partitioned by the rank's hybrid workers), and
+// stably sort the resulting bucket.
+func sortRank(c *rankComm, l *edge.List, workers int) *edge.List {
 	p := c.procs()
 	m := l.Len()
 	lo, hi := blockBounds(m, p, c.rank)
 	splitters := splitterPhase(c, l, lo, hi)
 
-	out := make([]*edge.List, p)
-	for d := range out {
-		out[d] = edge.NewList(0)
-	}
-	for i := lo; i < hi; i++ {
-		out[destRank(splitters, l.U[i])].Append(l.U[i], l.V[i])
-	}
+	out := partitionChunk(l, lo, hi, splitters, p, workers)
 	in := c.exchangeEdges(out)
 	bucket := edge.NewList((hi - lo) * 2)
 	for _, part := range in {

@@ -73,14 +73,20 @@ type rankState struct {
 // matrix, then iterate PageRank with a metered all-reduce per step.  The
 // result matches pagerank.Scatter on the serially built and filtered
 // matrix to well under 1e-9 for every p.  RunMode selects the concurrent
-// goroutine execution of the same schedule.
+// goroutine execution of the same schedule; RunCfg additionally enables
+// hybrid intra-rank workers.
 func Run(l *edge.List, n, p int, opt pagerank.Options) (*Result, error) {
+	return runSim(Config{}, l, n, p, opt)
+}
+
+// runSim is the simulated execution of Run's schedule under cfg.
+func runSim(cfg Config, l *edge.List, n, p int, opt pagerank.Options) (*Result, error) {
 	c := &comm{p: p}
 	states, _, nnz, err := buildFiltered(l, n, p, c)
 	if err != nil {
 		return nil, err
 	}
-	rank, iters, err := iterate(states, n, opt, c)
+	rank, iters, err := iterate(states, n, opt, c, cfg.workers())
 	if err != nil {
 		return nil, err
 	}
@@ -92,6 +98,12 @@ func Run(l *edge.List, n, p int, opt pagerank.Options) (*Result, error) {
 // into p row blocks.  It is the kernel-3 entry point of the pipeline's
 // "dist" variant, which builds the matrix through BuildFiltered first.
 func RunMatrix(a *sparse.CSR, p int, opt pagerank.Options) (*Result, error) {
+	return runMatrixSim(Config{}, a, p, opt)
+}
+
+// runMatrixSim is the simulated execution of RunMatrix's schedule under
+// cfg.
+func runMatrixSim(cfg Config, a *sparse.CSR, p int, opt pagerank.Options) (*Result, error) {
 	if a == nil {
 		return nil, fmt.Errorf("dist: RunMatrix of nil matrix")
 	}
@@ -100,7 +112,7 @@ func RunMatrix(a *sparse.CSR, p int, opt pagerank.Options) (*Result, error) {
 	}
 	states := splitMatrix(a, p)
 	c := &comm{p: p}
-	rank, iters, err := iterate(states, a.N, opt, c)
+	rank, iters, err := iterate(states, a.N, opt, c, cfg.workers())
 	if err != nil {
 		return nil, err
 	}
@@ -293,16 +305,27 @@ func danglingMassOf(st *rankState, r []float64) float64 {
 // and all-reduces the partials, and the dangling-mass hook performs a
 // scalar all-reduce because out-degrees are distributed.  The rank vector
 // stays replicated: rank 0 materializes the initial vector inside the
-// driver and one broadcast ships it.
-func iterate(states []*rankState, n int, opt pagerank.Options, c *comm) ([]float64, int, error) {
+// driver and one broadcast ships it.  With workers > 1 each simulated
+// rank's local product runs on its own hybrid worker team (spmvOf), which
+// changes wall clock but — by the §7 transpose-once construction — not a
+// single bit of the result.
+func iterate(states []*rankState, n int, opt pagerank.Options, c *comm, workers int) ([]float64, int, error) {
 	partials := make([][]float64, len(states))
 	for i := range partials {
 		partials[i] = make([]float64, n)
 	}
+	spmvs := make([]func(out, r []float64), len(states))
+	for i, st := range states {
+		spmv, h := spmvOf(st, workers)
+		spmvs[i] = spmv
+		if h != nil {
+			defer h.close()
+		}
+	}
 	dangleParts := make([]float64, len(states))
 	step := func(out, r []float64) {
-		for rk, st := range states {
-			st.blk.vxm(partials[rk], r)
+		for rk := range states {
+			spmvs[rk](partials[rk], r)
 		}
 		c.allReduceSum(out, partials)
 	}

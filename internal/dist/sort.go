@@ -111,8 +111,14 @@ func gatherSamples(c *comm, l *edge.List) []uint64 {
 
 // Sort performs the distributed sample sort of l by start vertex over p
 // simulated processors.  The input is not modified.  SortMode selects the
-// concurrent goroutine execution of the same schedule.
+// concurrent goroutine execution of the same schedule; SortCfg
+// additionally enables hybrid intra-rank partitioning.
 func Sort(l *edge.List, p int) (*SortResult, error) {
+	return sortSim(Config{}, l, p)
+}
+
+// sortSim is the simulated execution of Sort's schedule under cfg.
+func sortSim(cfg Config, l *edge.List, p int) (*SortResult, error) {
 	if l == nil {
 		return nil, fmt.Errorf("dist: Sort of nil edge list")
 	}
@@ -133,19 +139,18 @@ func Sort(l *edge.List, p int) (*SortResult, error) {
 
 	// Phase 3: all-to-all exchange.  Scanning source chunks in rank order
 	// keeps each bucket in global input order, which is what makes the
-	// final concatenation a stable sort.
+	// final concatenation a stable sort; partitionChunk preserves that
+	// order for every hybrid worker count.
 	buckets := make([]*edge.List, p)
 	for r := range buckets {
 		buckets[r] = edge.NewList(m / p)
 	}
 	for src := 0; src < p; src++ {
 		lo, hi := blockBounds(m, p, src)
-		for i := lo; i < hi; i++ {
-			u := l.U[i]
-			d := destRank(splitters, u)
-			buckets[d].Append(u, l.V[i])
+		for d, part := range partitionChunk(l, lo, hi, splitters, p, cfg.workers()) {
+			buckets[d].AppendList(part)
 			if d != src {
-				c.st.AllToAllBytes += edgeWireBytes
+				c.st.AllToAllBytes += edgeWireBytes * uint64(part.Len())
 			}
 		}
 	}

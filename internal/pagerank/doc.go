@@ -19,4 +19,11 @@
 // row-major), gather (via the transpose), goroutine-parallel gather, and
 // the generic GraphBLAS semiring form.  All are verified against each
 // other and against the paper's dense eigenvector check.
+//
+// Engine is the reusable form of the iteration (NewScatterEngine,
+// NewGatherEngine, NewParallelEngine, or NewEngine over custom hooks as
+// the distributed runtime does): all state is allocated at construction
+// and steady-state Iterate calls perform zero heap allocations, the
+// allocation budget DESIGN.md §7 specifies for kernel 3 at every level
+// of the stack.
 package pagerank

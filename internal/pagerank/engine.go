@@ -1,0 +1,278 @@
+package pagerank
+
+// The reusable kernel-3 iteration engine.  RunCustom and every serial
+// engine build on it; the distributed runtime (internal/dist) drives one
+// per replica.  The point of the type is the allocation budget: all
+// iteration state — the current and next rank vectors and the resolved
+// option scalars — is allocated once at construction, so the steady-state
+// Iterate performs zero heap allocations of its own (DESIGN.md §7).  The
+// step and dangling-mass hooks own their allocation behavior; the engines
+// in this package and in dist supply allocation-free hooks.
+
+import (
+	"repro/internal/sparse"
+	"repro/internal/workteam"
+)
+
+// Engine holds the reusable state of the kernel-3 power iteration
+//
+//	r' = c·(r·A) + (1-c)·sum(r)·v + c·D(r)·w
+//
+// (the update RunCustom documents).  Construct it once with NewEngine,
+// then either call Run to drive it to completion or call Iterate step by
+// step.  Iterate allocates nothing, so a fixed-size problem iterates at a
+// steady-state allocation rate of zero — the hybrid runtime's allocation
+// budget depends on this.
+type Engine struct {
+	n          int
+	step       func(out, r []float64)
+	dangleMass func(r []float64) float64
+
+	c        float64
+	iters    int
+	policy   DanglingPolicy
+	teleport []float64
+	tol      float64
+	uniform  float64
+	seed     uint64
+	initial  []float64 // private snapshot of the option's InitialRank, for Reset
+
+	r, next  []float64
+	it       int
+	lastDiff float64
+}
+
+// NewEngine validates opt and builds an engine over the given step and
+// dangling-mass hooks (see RunCustom for their contracts; dangleMass may
+// be nil when no dangling policy is active).  The initial vector is
+// materialized immediately — a copy of opt.InitialRank, or InitVector.
+func NewEngine(n int, step func(out, r []float64), dangleMass func(r []float64) float64, opt Options) (*Engine, error) {
+	if err := opt.Validate(); err != nil {
+		return nil, err
+	}
+	if err := opt.validateAgainstN(n); err != nil {
+		return nil, err
+	}
+	e := &Engine{
+		n:          n,
+		step:       step,
+		dangleMass: dangleMass,
+		c:          opt.damping(),
+		iters:      opt.iterations(),
+		policy:     opt.policy(),
+		teleport:   opt.Teleport,
+		tol:        opt.Tolerance,
+		uniform:    1 / float64(n),
+		seed:       opt.Seed,
+		r:          make([]float64, n),
+		next:       make([]float64, n),
+	}
+	if opt.InitialRank != nil {
+		// A private snapshot: Reset must reproduce the construction-time
+		// vector even if the caller reuses its slice afterwards.
+		e.initial = append([]float64(nil), opt.InitialRank...)
+	}
+	e.Reset()
+	return e, nil
+}
+
+// Reset rewinds the engine to iteration zero and re-materializes the
+// initial vector in place (no allocation beyond InitVector's internals
+// when no InitialRank was given).
+func (e *Engine) Reset() {
+	if e.initial != nil {
+		copy(e.r, e.initial)
+	} else {
+		initVectorInto(e.r, e.seed)
+	}
+	e.it = 0
+	e.lastDiff = 0
+}
+
+// Iterations returns the number of update steps performed since the last
+// Reset.
+func (e *Engine) Iterations() int { return e.it }
+
+// Rank returns the current rank vector.  The slice aliases engine state:
+// it is overwritten by further Iterate calls.
+func (e *Engine) Rank() []float64 { return e.r }
+
+// Iterate performs exactly one update step and returns the 1-norm
+// difference between the new and previous iterates when a tolerance is
+// configured (0 otherwise — the fixed-iteration benchmark mode skips the
+// comparison).  It does not enforce the iteration cap; Run does.
+// Iterate itself performs no heap allocations.
+func (e *Engine) Iterate() float64 {
+	sumR := sparse.Sum(e.r)
+	e.step(e.next, e.r)
+	var dangle float64
+	if e.policy != DanglingIgnore {
+		dangle = e.dangleMass(e.r)
+	}
+	teleMass := (1 - e.c) * sumR
+	next := e.next
+	switch {
+	case e.teleport == nil && e.policy != DanglingTeleport:
+		// Uniform teleport, uniform (or no) dangling redistribution:
+		// a single scalar addend, the benchmark fast path.
+		addend := teleMass * e.uniform
+		if e.policy == DanglingUniform {
+			addend += e.c * dangle * e.uniform
+		}
+		for j := range next {
+			next[j] = e.c*next[j] + addend
+		}
+	default:
+		v := e.teleport
+		for j := range next {
+			vj := e.uniform
+			if v != nil {
+				vj = v[j]
+			}
+			x := e.c*next[j] + teleMass*vj
+			switch e.policy {
+			case DanglingUniform:
+				x += e.c * dangle * e.uniform
+			case DanglingTeleport:
+				x += e.c * dangle * vj
+			}
+			next[j] = x
+		}
+	}
+	e.it++
+	var diff float64
+	if e.tol > 0 {
+		diff = sparse.Diff1(e.next, e.r)
+		e.lastDiff = diff
+	}
+	e.r, e.next = e.next, e.r
+	return diff
+}
+
+// Run drives Iterate up to the configured iteration count, stopping early
+// once the tolerance (if any) is met.  The returned Result's Rank aliases
+// the engine's current vector; callers that keep iterating the same
+// engine must copy it first.
+func (e *Engine) Run() *Result {
+	for e.it < e.iters {
+		diff := e.Iterate()
+		if e.tol > 0 && diff < e.tol {
+			break
+		}
+	}
+	return &Result{Rank: e.r, Iterations: e.it, FinalDiff: e.lastDiff}
+}
+
+// newMaskedEngine builds an engine whose dangling mass is a scan of the
+// given row mask — the serial engines' shared construction.
+func newMaskedEngine(n int, step func(out, r []float64), dangling []bool, opt Options) (*Engine, error) {
+	return NewEngine(n, step, func(r []float64) float64 {
+		var m float64
+		for i, d := range dangling {
+			if d {
+				m += r[i]
+			}
+		}
+		return m
+	}, opt)
+}
+
+// NewScatterEngine builds a reusable engine over the CSR scatter product
+// (the engine behind Scatter).
+func NewScatterEngine(a *sparse.CSR, opt Options) (*Engine, error) {
+	return newMaskedEngine(a.N, a.VxM, danglingMask(a), opt)
+}
+
+// NewGatherEngine transposes a once and builds a reusable engine over the
+// cache-friendlier gather product (the engine behind Gather).
+func NewGatherEngine(a *sparse.CSR, opt Options) (*Engine, error) {
+	at := a.Transpose()
+	return newMaskedEngine(a.N, func(out, r []float64) { at.MxV(out, r) }, danglingMask(a), opt)
+}
+
+// ---------------------------------------------------------------------------
+// Parallel engine: transpose-once gather over a persistent worker team
+
+// mxvTeam is a persistent workteam.Team computing disjoint row ranges of
+// a gather product — spawned once, signalled per product, so a
+// steady-state product allocates nothing.  Each output row is written by
+// exactly one worker and rows are independent, so the result is
+// bit-for-bit the serial MxV for every worker count.
+type mxvTeam struct {
+	out, x []float64
+	team   *workteam.Team
+}
+
+// newMxVTeam spawns workers goroutines over the rows of at.  Callers must
+// close the team when done iterating or the goroutines leak.
+func newMxVTeam(at *sparse.CSR, workers int) *mxvTeam {
+	t := &mxvTeam{}
+	t.team = workteam.New(workers, func(w int) {
+		at.MxVRange(t.out, t.x, w*at.N/workers, (w+1)*at.N/workers)
+	})
+	return t
+}
+
+// mxv computes out = at·x across the team (workteam.Run's happens-before
+// edges keep the workers from racing the caller on out/x).
+func (t *mxvTeam) mxv(out, x []float64) {
+	t.out, t.x = out, x
+	t.team.Run()
+}
+
+// close terminates the worker goroutines.  The team must not be used
+// afterwards.
+func (t *mxvTeam) close() { t.team.Close() }
+
+// ParallelEngine is the row-partitioned parallel gather engine in reusable
+// form: the matrix is transposed once, a persistent worker team computes
+// the product, and the embedded Engine owns the iteration vectors — so
+// steady-state iterations perform zero heap allocations while using every
+// configured core.  Close must be called when done (Parallel does).
+type ParallelEngine struct {
+	eng  *Engine
+	team *mxvTeam
+}
+
+// NewParallelEngine validates opt and builds the reusable parallel engine.
+// The worker count is Options.Workers (defaulted like Parallel); tiny
+// problems degenerate to the serial gather exactly as ParallelMxV does.
+func NewParallelEngine(a *sparse.CSR, opt Options) (*ParallelEngine, error) {
+	if err := opt.Validate(); err != nil {
+		return nil, err
+	}
+	if err := opt.validateAgainstN(a.N); err != nil {
+		return nil, err
+	}
+	at := a.Transpose()
+	workers := workersOr(opt.Workers)
+	pe := &ParallelEngine{}
+	step := func(out, r []float64) { at.MxV(out, r) }
+	if workers >= 2 && a.N >= 2*workers {
+		pe.team = newMxVTeam(at, workers)
+		step = pe.team.mxv
+	}
+	eng, err := newMaskedEngine(a.N, step, danglingMask(a), opt)
+	if err != nil {
+		pe.Close()
+		return nil, err
+	}
+	pe.eng = eng
+	return pe, nil
+}
+
+// Engine returns the embedded iteration engine (for Iterate-level
+// control and benchmarks).
+func (pe *ParallelEngine) Engine() *Engine { return pe.eng }
+
+// Run drives the engine to completion, like Parallel.
+func (pe *ParallelEngine) Run() *Result { return pe.eng.Run() }
+
+// Close terminates the worker team.  The engine must not be iterated
+// afterwards.
+func (pe *ParallelEngine) Close() {
+	if pe.team != nil {
+		pe.team.close()
+		pe.team = nil
+	}
+}

@@ -81,6 +81,14 @@ type Workload struct {
 	// the sort round-trips its chunk through storage as sorted binary
 	// runs.  Zero models the in-memory kernel 1.
 	RunEdges int
+	// RankWorkers is the hybrid intra-rank worker count
+	// (dist.Config.Workers): each rank's local compute runs on this many
+	// cores of its node, capped at Hardware.Cores.  0/1 model serial
+	// ranks.  Only compute terms divide by it — per-node memory and
+	// storage bandwidth are shared by a node's workers, which is why the
+	// memory-bound kernels stop speeding up once bandwidth binds (the
+	// paper's central claim, now visible inside a single rank too).
+	RankWorkers int
 }
 
 func (w Workload) withDefaults() Workload {
@@ -94,7 +102,23 @@ func (w Workload) withDefaults() Workload {
 		// Two ~6-digit labels, tab, newline at the paper's scales.
 		w.BytesPerEdgeText = 14
 	}
+	if w.RankWorkers < 1 {
+		w.RankWorkers = 1
+	}
 	return w
+}
+
+// rankWorkers returns the effective intra-rank parallelism on h: the
+// configured worker count, capped at the node's cores.
+func (w Workload) rankWorkers(h Hardware) float64 {
+	e := w.RankWorkers
+	if e < 1 {
+		e = 1
+	}
+	if h.Cores >= 1 && e > h.Cores {
+		e = h.Cores
+	}
+	return float64(e)
 }
 
 // N returns the vertex count.
@@ -122,6 +146,10 @@ const (
 	// 4 B column index + 8 B value + one amortized random access into the
 	// rank vector (charged a half cache line) + output accumulation.
 	spmvBytesPerNNZ = 52.0
+	// partitionOpsPerEdge charges kernel 1's bucket partitioning: one
+	// splitter binary search plus an append per routed edge — the only
+	// kernel-1 work the hybrid intra-rank workers parallelize.
+	partitionOpsPerEdge = 8.0
 	// collisionFactor approximates NNZ/M after duplicate accumulation in
 	// Kronecker graphs at paper scales.
 	collisionFactor = 0.8
@@ -205,6 +233,12 @@ func All(h Hardware, w Workload) [4]Prediction {
 // an all-reduce of the N-element rank vector whose cost grows with p.  The
 // returned prediction's Bound turns "network" once the collective
 // dominates — the paper's predicted behavior.
+//
+// Workload.RankWorkers adds the hybrid intra-rank term of dist.Config:
+// the per-node compute time further divides by min(RankWorkers, Cores),
+// while the per-node memory time does not (a node's workers share its
+// bandwidth) — so intra-rank workers help exactly until the SpMV goes
+// bandwidth-bound, which is what the prbench p×w scaling table measures.
 func ParallelKernel3(h Hardware, w Workload, p int) Prediction {
 	w = w.withDefaults()
 	if p < 1 {
@@ -215,7 +249,7 @@ func ParallelKernel3(h Hardware, w Workload, p int) Prediction {
 	iters := float64(w.Iterations)
 	nnz := m * collisionFactor
 	memory := iters * nnz * spmvBytesPerNNZ / h.MemBandwidth / float64(p)
-	compute := iters * nnz * 2 / h.ScalarRate / float64(p)
+	compute := iters * nnz * 2 / h.ScalarRate / float64(p) / w.rankWorkers(h)
 	network := 0.0
 	if p > 1 {
 		perIter := 2*n*8*float64(p-1)/float64(p)/h.NetBandwidth + math.Log2(float64(p))*h.NetLatency
@@ -246,6 +280,12 @@ func ParallelKernel3(h Hardware, w Workload, p int) Prediction {
 // the spill/merge I/O term dist's ExtSortResult.Spill measures (the k-way
 // merge itself reads the already-exchanged segments from memory, so it
 // adds no further storage traffic).
+//
+// Workload.RankWorkers adds the hybrid intra-rank term as a separate
+// per-node partition charge (partitionOpsPerEdge per routed edge divided
+// by min(RankWorkers, Cores)) — only the bucket partitioning is
+// parallelized by dist.Config.Workers, so the text parse/format compute,
+// the radix memory term and the storage terms do not divide by it.
 func ParallelKernel1(h Hardware, w Workload, p int) Prediction {
 	w = w.withDefaults()
 	if p < 1 {
@@ -253,7 +293,8 @@ func ParallelKernel1(h Hardware, w Workload, p int) Prediction {
 	}
 	m := w.M()
 	passes := math.Ceil(float64(w.Scale) / 8)
-	compute := m * (parseOpsPerByte + formatOpsPerByte) * w.BytesPerEdgeText / h.ScalarRate / float64(p)
+	compute := m*(parseOpsPerByte+formatOpsPerByte)*w.BytesPerEdgeText/h.ScalarRate/float64(p) +
+		m*partitionOpsPerEdge/h.ScalarRate/float64(p)/w.rankWorkers(h)
 	memory := m * radixBytesPerEdgePass * passes / h.MemBandwidth / float64(p)
 	storage := (m*w.BytesPerEdgeText/h.StorageReadBW + m*w.BytesPerEdgeText/h.StorageWriteBW) / float64(p)
 	if w.RunEdges > 0 {

@@ -2,6 +2,7 @@ package pipeline
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"time"
 
@@ -85,6 +86,11 @@ type Config struct {
 	// (concurrent ranks with real message passing).  Empty keeps the
 	// selected variant's default.
 	DistMode string
+	// RankWorkers is the hybrid intra-rank worker count of the dist
+	// variants' runtime (dist.Config.Workers): each rank's local kernel-3
+	// product and kernel-1 partitioning run on this many goroutines.
+	// Results are bit-for-bit invariant in it; <= 1 keeps ranks serial.
+	RankWorkers int
 	// PageRank carries K3 options (damping, iterations, dangling).
 	PageRank pagerank.Options
 	// KeepRank retains the final rank vector in the Result.
@@ -152,6 +158,11 @@ type KernelResult struct {
 	Edges uint64
 	// EdgesPerSecond is Edges / Seconds, the paper's reported metric.
 	EdgesPerSecond float64
+	// Allocs is the number of heap allocations performed during the
+	// stage (runtime mallocs, whole process) — the perf-trajectory
+	// counter prbench -json records so allocation regressions in any
+	// kernel are visible between PRs.
+	Allocs uint64
 	// IO holds the kernel's storage traffic when Config.MeterIO is set.
 	IO *vfs.IOStats
 }
@@ -170,6 +181,9 @@ type Result struct {
 	Rank []float64
 	// RankIterations is the number of PageRank iterations performed.
 	RankIterations int
+	// Comm is the total communication record of the run's distributed
+	// collectives (dist variants only; nil otherwise).
+	Comm *dist.CommStats
 }
 
 // KernelResultFor returns the result for kernel k, or nil.
@@ -199,6 +213,17 @@ type Run struct {
 	Rank *pagerank.Result
 	// MatrixMass is sum(A) recorded during K2 before filtering.
 	MatrixMass float64
+	// Comm accumulates the distributed collectives' communication record
+	// across kernels (dist variants call AddComm; nil for serial variants).
+	Comm *dist.CommStats
+}
+
+// AddComm folds a kernel's communication record into the run's total.
+func (r *Run) AddComm(st dist.CommStats) {
+	if r.Comm == nil {
+		r.Comm = &dist.CommStats{}
+	}
+	r.Comm.Add(st)
 }
 
 // Variant implements the four kernels.  Kernels communicate only through
@@ -299,12 +324,16 @@ func ExecuteKernels(cfg Config, kernels []Kernel) (*Result, error) {
 		default:
 			return nil, fmt.Errorf("pipeline: unknown kernel %v", k)
 		}
+		var memBefore runtime.MemStats
+		runtime.ReadMemStats(&memBefore)
 		start := time.Now()
 		if err := fn(run); err != nil {
 			return nil, fmt.Errorf("pipeline: %v (%s): %w", k, cfg.Variant, err)
 		}
 		secs := time.Since(start).Seconds()
-		kr := KernelResult{Kernel: k, Seconds: secs, Edges: edges}
+		var memAfter runtime.MemStats
+		runtime.ReadMemStats(&memAfter)
+		kr := KernelResult{Kernel: k, Seconds: secs, Edges: edges, Allocs: memAfter.Mallocs - memBefore.Mallocs}
 		if secs > 0 {
 			kr.EdgesPerSecond = float64(edges) / secs
 		}
@@ -324,6 +353,7 @@ func ExecuteKernels(cfg Config, kernels []Kernel) (*Result, error) {
 			res.Rank = run.Rank.Rank
 		}
 	}
+	res.Comm = run.Comm
 	return res, nil
 }
 

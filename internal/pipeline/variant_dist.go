@@ -68,6 +68,12 @@ func (v distVariant) execMode(r *Run) dist.ExecMode {
 	return v.mode
 }
 
+// distCfg assembles the full runtime configuration: the resolved
+// execution mode plus the hybrid intra-rank worker count.
+func (v distVariant) distCfg(r *Run) dist.Config {
+	return dist.Config{Mode: v.execMode(r), Workers: r.Cfg.RankWorkers}
+}
+
 // Kernel0 implements Variant.
 func (distVariant) Kernel0(r *Run) error {
 	gen, err := generate(r.Cfg)
@@ -93,10 +99,11 @@ func (v distVariant) Kernel1(r *Run) error {
 		// variant does.
 		xsort.RadixByUV(l)
 	} else {
-		res, err := dist.SortMode(v.execMode(r), l, v.procs(r))
+		res, err := dist.SortCfg(v.distCfg(r), l, v.procs(r))
 		if err != nil {
 			return err
 		}
+		r.AddComm(res.Comm)
 		l = res.Sorted
 	}
 	return fastio.WriteStriped(r.FS, "k1", fastio.TSV{}, r.Cfg.NFiles, l)
@@ -112,6 +119,7 @@ func (v distVariant) Kernel2(r *Run) error {
 	if err != nil {
 		return err
 	}
+	r.AddComm(b.Comm)
 	r.MatrixMass = b.Mass
 	r.Matrix = b.Matrix
 	return nil
@@ -119,10 +127,11 @@ func (v distVariant) Kernel2(r *Run) error {
 
 // Kernel3 implements Variant.
 func (v distVariant) Kernel3(r *Run) error {
-	res, err := dist.RunMatrixMode(v.execMode(r), r.Matrix, v.procs(r), r.Cfg.PageRank)
+	res, err := dist.RunMatrixCfg(v.distCfg(r), r.Matrix, v.procs(r), r.Cfg.PageRank)
 	if err != nil {
 		return err
 	}
+	r.AddComm(res.Comm)
 	r.Rank = &pagerank.Result{Rank: res.Rank, Iterations: res.Iterations}
 	return nil
 }

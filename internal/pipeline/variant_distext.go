@@ -69,5 +69,6 @@ func (v distextVariant) Kernel1(r *Run) error {
 	if err != nil {
 		return err
 	}
+	r.AddComm(res.Comm)
 	return fastio.WriteStriped(r.FS, "k1", fastio.TSV{}, r.Cfg.NFiles, res.Sorted)
 }

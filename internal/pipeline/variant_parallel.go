@@ -31,7 +31,7 @@ func (parallelVariant) Name() string { return "parallel" }
 
 // Description implements Variant.
 func (parallelVariant) Description() string {
-	return "goroutine-parallel generation, striped I/O, merge sort and row-partitioned PageRank (the paper's parallel decomposition)"
+	return "goroutine-parallel generation, striped I/O, merge sort and row-partitioned PageRank on a persistent worker team (the paper's parallel decomposition, allocation-free in steady state)"
 }
 
 func (parallelVariant) workers(r *Run) int {

@@ -1,0 +1,100 @@
+package sparse
+
+// Tests for the VxMScratch reuse API: correctness against the serial
+// scatter for every worker count, scratch growth across problem sizes,
+// and stability of the reused accumulators (the workers·N churn the API
+// exists to eliminate).
+
+import (
+	"testing"
+
+	"repro/internal/edge"
+	"repro/internal/xrand"
+)
+
+func scratchTestMatrix(t testing.TB, seed uint64, m, n int) *CSR {
+	t.Helper()
+	g := xrand.New(seed)
+	l := edge.NewList(m)
+	for i := 0; i < m; i++ {
+		l.Append(g.Uint64n(uint64(n)), g.Uint64n(uint64(n)))
+	}
+	a, err := FromEdges(l, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestParallelVxMWithMatchesSerial(t *testing.T) {
+	var s VxMScratch // zero value must be ready to use
+	for _, n := range []int{64, 1 << 10} {
+		a := scratchTestMatrix(t, 11, 8*n, n)
+		r := make([]float64, n)
+		for i := range r {
+			r[i] = float64(i%5) / 7
+		}
+		want := make([]float64, n)
+		a.VxM(want, r)
+		for _, workers := range []int{1, 2, 3, 8} {
+			got := make([]float64, n)
+			a.ParallelVxMWith(got, r, workers, &s)
+			for j := range want {
+				// Per-worker partials re-associate the reduction, so
+				// compare within floating-point slack, not bit-for-bit
+				// (the bit-stable hybrid path lives in internal/dist).
+				if d := got[j] - want[j]; d > 1e-12 || d < -1e-12 {
+					t.Fatalf("n=%d workers=%d: out[%d] = %v, serial %v", n, workers, j, got[j], want[j])
+				}
+			}
+		}
+	}
+}
+
+func TestVxMScratchReusesAccumulators(t *testing.T) {
+	a := scratchTestMatrix(t, 12, 1<<13, 1<<10)
+	r := make([]float64, a.N)
+	for i := range r {
+		r[i] = 1 / float64(a.N)
+	}
+	out := make([]float64, a.N)
+	var s VxMScratch
+	const workers = 4
+	a.ParallelVxMWith(out, r, workers, &s)
+	if len(s.acc) < workers {
+		t.Fatalf("scratch holds %d accumulators after use, want >= %d", len(s.acc), workers)
+	}
+	before := make([]*float64, workers)
+	for w := 0; w < workers; w++ {
+		before[w] = &s.acc[w][0]
+	}
+	for i := 0; i < 10; i++ {
+		a.ParallelVxMWith(out, r, workers, &s)
+	}
+	for w := 0; w < workers; w++ {
+		if &s.acc[w][0] != before[w] {
+			t.Fatalf("worker %d accumulator was reallocated on reuse — the churn the scratch exists to avoid", w)
+		}
+	}
+}
+
+func TestVxMScratchGrowsAcrossShapes(t *testing.T) {
+	small := scratchTestMatrix(t, 13, 1<<9, 1<<7)
+	big := scratchTestMatrix(t, 13, 1<<12, 1<<10)
+	var s VxMScratch
+	for _, a := range []*CSR{small, big, small} { // grow, then shrink back
+		r := make([]float64, a.N)
+		for i := range r {
+			r[i] = 1
+		}
+		got := make([]float64, a.N)
+		want := make([]float64, a.N)
+		a.ParallelVxMWith(got, r, 3, &s)
+		a.VxM(want, r)
+		for j := range want {
+			if d := got[j] - want[j]; d > 1e-9 || d < -1e-9 {
+				t.Fatalf("N=%d: out[%d] = %v, serial %v", a.N, j, got[j], want[j])
+			}
+		}
+	}
+}

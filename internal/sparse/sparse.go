@@ -452,6 +452,21 @@ func (a *CSR) MxV(out, x []float64) {
 	}
 }
 
+// MxVRange computes the rows [lo, hi) of out = A·x — the gather product
+// restricted to a contiguous row range.  Each output element depends only
+// on its own row, so disjoint ranges may be computed concurrently with no
+// coordination and no effect on the result's bits; this is the primitive
+// the persistent worker teams of pagerank and dist partition over.
+func (a *CSR) MxVRange(out, x []float64, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		var s float64
+		for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
+			s += a.Val[k] * x[a.Col[k]]
+		}
+		out[i] = s
+	}
+}
+
 // ParallelMxV computes out = A·x splitting rows across workers goroutines.
 // Row partitioning makes the gather product embarrassingly parallel, which
 // is why the paper's proposed decomposition stores row blocks per processor.
@@ -467,28 +482,67 @@ func (a *CSR) ParallelMxV(out, x []float64, workers int) {
 		wg.Add(1)
 		go func(lo, hi int) {
 			defer wg.Done()
-			for i := lo; i < hi; i++ {
-				var s float64
-				for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
-					s += a.Val[k] * x[a.Col[k]]
-				}
-				out[i] = s
-			}
+			a.MxVRange(out, x, lo, hi)
 		}(lo, hi)
 	}
 	wg.Wait()
 }
 
+// VxMScratch holds the per-worker private accumulators of ParallelVxMWith,
+// so repeated products reuse one workers·N float allocation instead of
+// churning it every call.  A scratch may be reused across matrices and
+// worker counts; Ensure grows it as needed.  The zero value is ready to
+// use.  A scratch must not be shared by concurrent products.
+type VxMScratch struct {
+	acc [][]float64
+}
+
+// Ensure grows the scratch to hold workers accumulators of length n.
+func (s *VxMScratch) Ensure(n, workers int) {
+	if len(s.acc) < workers {
+		acc := make([][]float64, workers)
+		copy(acc, s.acc)
+		s.acc = acc
+	}
+	for w := 0; w < workers; w++ {
+		if len(s.acc[w]) < n {
+			s.acc[w] = make([]float64, n)
+		}
+	}
+}
+
+// vxmPool recycles scratches for the one-shot ParallelVxM entry point, so
+// even callers without a scratch of their own stop allocating workers·N
+// floats per call in steady state.
+var vxmPool = sync.Pool{New: func() any { return new(VxMScratch) }}
+
 // ParallelVxM computes out = r·A with per-worker private accumulators that
-// are reduced at the end, avoiding write conflicts on out.  It allocates
-// workers·N temporary floats; callers preferring memory economy should
-// transpose once and use ParallelMxV.
+// are reduced at the end, avoiding write conflicts on out.  The
+// accumulators come from an internal pool, so repeated calls do not churn
+// workers·N temporary floats; callers iterating a fixed problem should
+// hold a VxMScratch and call ParallelVxMWith, and callers preferring
+// memory economy can transpose once and use ParallelMxV.
 func (a *CSR) ParallelVxM(out, r []float64, workers int) {
 	if workers < 2 || a.N < 2*workers {
 		a.VxM(out, r)
 		return
 	}
-	partial := make([][]float64, workers)
+	s := vxmPool.Get().(*VxMScratch)
+	a.ParallelVxMWith(out, r, workers, s)
+	vxmPool.Put(s)
+}
+
+// ParallelVxMWith is ParallelVxM backed by a caller-owned scratch.  The
+// per-worker partial accumulators are reduced into out in ascending worker
+// order, so the result is deterministic for a fixed worker count (workers
+// partition distinct row ranges, so the floating-point association — and
+// therefore the bits — depends on workers).
+func (a *CSR) ParallelVxMWith(out, r []float64, workers int, s *VxMScratch) {
+	if workers < 2 || a.N < 2*workers {
+		a.VxM(out, r)
+		return
+	}
+	s.Ensure(a.N, workers)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		lo := w * a.N / workers
@@ -496,7 +550,10 @@ func (a *CSR) ParallelVxM(out, r []float64, workers int) {
 		wg.Add(1)
 		go func(w, lo, hi int) {
 			defer wg.Done()
-			acc := make([]float64, a.N)
+			acc := s.acc[w][:a.N]
+			for i := range acc {
+				acc[i] = 0
+			}
 			for i := lo; i < hi; i++ {
 				ri := r[i]
 				if ri == 0 {
@@ -506,14 +563,14 @@ func (a *CSR) ParallelVxM(out, r []float64, workers int) {
 					acc[a.Col[k]] += ri * a.Val[k]
 				}
 			}
-			partial[w] = acc
 		}(w, lo, hi)
 	}
 	wg.Wait()
 	for i := range out {
 		out[i] = 0
 	}
-	for _, acc := range partial {
+	for w := 0; w < workers; w++ {
+		acc := s.acc[w][:a.N]
 		for i, v := range acc {
 			out[i] += v
 		}

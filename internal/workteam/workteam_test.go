@@ -1,0 +1,31 @@
+package workteam
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestTeamRunsEveryWorkerPerRound(t *testing.T) {
+	var hits [5]int64
+	tm := New(5, func(w int) { atomic.AddInt64(&hits[w], 1) })
+	defer tm.Close()
+	const rounds = 7
+	for i := 0; i < rounds; i++ {
+		tm.Run()
+	}
+	for w, h := range hits {
+		if h != rounds {
+			t.Errorf("worker %d ran %d times, want %d", w, h, rounds)
+		}
+	}
+}
+
+func TestTeamRunZeroAllocs(t *testing.T) {
+	var sink int64
+	tm := New(4, func(w int) { atomic.AddInt64(&sink, int64(w)) })
+	defer tm.Close()
+	tm.Run() // warm
+	if allocs := testing.AllocsPerRun(50, tm.Run); allocs != 0 {
+		t.Errorf("Run allocates %.1f/op, want 0", allocs)
+	}
+}
