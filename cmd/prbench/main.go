@@ -43,17 +43,18 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
 
 	"repro/internal/core"
 	"repro/internal/dist"
 	"repro/internal/edge"
-	"repro/internal/kronecker"
 	"repro/internal/pagerank"
 	"repro/internal/perfmodel"
 	"repro/internal/pipeline"
@@ -92,6 +93,15 @@ func main() {
 	)
 	flag.Parse()
 
+	// One long-lived Service backs every mode of the command: runs are
+	// admitted through it, Ctrl-C cancels them mid-kernel through ctx,
+	// and the sweeps share its generator cache so a graph is generated
+	// once per sweep, not once per table cell.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	svc := core.NewService()
+	defer svc.Close()
+
 	rw, err := parseIntList(*rankWorkers)
 	if err != nil {
 		fatal(fmt.Errorf("bad -rankworkers: %w", err))
@@ -104,7 +114,7 @@ func main() {
 		return
 	}
 	if *procSweep != "" {
-		if err := runProcSweep(*scale, *edgeFactor, *seed, *procSweep, rw, *iterations, *damping, *dangling, *format); err != nil {
+		if err := runProcSweep(ctx, svc, *scale, *edgeFactor, *seed, *procSweep, rw, *iterations, *damping, *dangling, *format); err != nil {
 			fatal(err)
 		}
 		return
@@ -113,7 +123,7 @@ func main() {
 		fatal(fmt.Errorf("-rankworkers accepts a list only with -procsweep"))
 	}
 	if *procs > 0 {
-		if err := runDistributed(*scale, *edgeFactor, *seed, *procs, rw[0], *iterations, *damping, *dangling, *distMode, *runEdges); err != nil {
+		if err := runDistributed(ctx, svc, *scale, *edgeFactor, *seed, *procs, rw[0], *iterations, *damping, *dangling, *distMode, *runEdges); err != nil {
 			fatal(err)
 		}
 		return
@@ -127,7 +137,7 @@ func main() {
 		if *jsonOut {
 			fatal(fmt.Errorf("-json reports single pipeline runs; drop -sweep"))
 		}
-		if err := runSweep(*minScale, *maxScale, *edgeFactor, *seed, *variant, *format, *ascii); err != nil {
+		if err := runSweep(ctx, *minScale, *maxScale, *edgeFactor, *seed, *variant, *format, *ascii); err != nil {
 			fatal(err)
 		}
 		return
@@ -162,7 +172,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	res, err := core.RunKernels(cfg, ks)
+	res, err := svc.Run(ctx, cfg, core.WithKernels(ks...))
 	if err != nil {
 		fatal(err)
 	}
@@ -328,10 +338,15 @@ func printResult(res *core.Result, format string) {
 	}
 }
 
-func runSweep(minScale, maxScale, edgeFactor int, seed uint64, variant, format string, ascii bool) error {
+func runSweep(ctx context.Context, minScale, maxScale, edgeFactor int, seed uint64, variant, format string, ascii bool) error {
 	if minScale > maxScale {
 		return fmt.Errorf("minscale %d > maxscale %d", minScale, maxScale)
 	}
+	// The figure sweep measures kernel 0 per variant, so its service
+	// runs with the generator cache disabled: a cached edge list would
+	// turn the reported K0 edges/second into a cache fetch.
+	svc := core.NewService(core.WithCacheCapacity(0), core.WithMaxConcurrent(1))
+	defer svc.Close()
 	variants := core.Variants()
 	if variant != "all" && variant != "" {
 		variants = strings.Split(variant, ",")
@@ -353,7 +368,7 @@ func runSweep(minScale, maxScale, edgeFactor int, seed uint64, variant, format s
 		}
 		for s := minScale; s <= maxScale; s++ {
 			cfg := core.Config{Scale: s, EdgeFactor: edgeFactor, Seed: seed, Variant: v}
-			res, err := core.Run(cfg)
+			res, err := svc.Run(ctx, cfg)
 			if err != nil {
 				return fmt.Errorf("scale %d variant %s: %w", s, v, err)
 			}
@@ -379,13 +394,12 @@ func runSweep(minScale, maxScale, edgeFactor int, seed uint64, variant, format s
 	return nil
 }
 
-func runDistributed(scale, edgeFactor int, seed uint64, procs, rankWorkers, iterations int, damping float64, dangling bool, mode string, runEdges int) error {
-	kcfg := kronecker.New(scale, seed)
-	kcfg.EdgeFactor = edgeFactor
-	l, err := kronecker.Generate(kcfg)
+func runDistributed(ctx context.Context, svc *core.Service, scale, edgeFactor int, seed uint64, procs, rankWorkers, iterations int, damping float64, dangling bool, mode string, runEdges int) error {
+	l, err := svc.Edges(ctx, core.GraphKey{Scale: scale, EdgeFactor: edgeFactor, Seed: seed})
 	if err != nil {
 		return err
 	}
+	n := 1 << uint(scale)
 	opt := pagerank.Options{Iterations: iterations, Damping: damping, Dangling: dangling, Seed: seed}
 	modes := []dist.ExecMode{}
 	switch mode {
@@ -399,21 +413,25 @@ func runDistributed(scale, edgeFactor int, seed uint64, procs, rankWorkers, iter
 		modes = append(modes, m)
 	}
 	if runEdges > 0 {
-		if err := runExternalSort(l, procs, runEdges, modes); err != nil {
+		if err := runExternalSort(ctx, l, procs, runEdges, modes); err != nil {
 			return err
 		}
 	}
 	var first *dist.Result
 	for _, m := range modes {
-		res, err := dist.RunCfg(dist.Config{Mode: m, Workers: rankWorkers}, l, int(kcfg.N()), procs, opt)
+		out, err := dist.Execute(ctx, dist.Spec{
+			Config: dist.Config{Mode: m, Workers: rankWorkers},
+			Op:     dist.OpRun, Edges: l, N: n, Procs: procs, PageRank: opt,
+		})
 		if err != nil {
 			return err
 		}
+		res := out.Run
 		fmt.Printf("distributed pipeline (%v): scale %d, %d ranks × %d workers\n", m, scale, procs, rankWorkers)
 		fmt.Printf("  filtered nonzeros:  %d\n", res.NNZ)
 		fmt.Printf("  all-reduce calls:   %d (%.3g MB)\n", res.Comm.AllReduceCalls, float64(res.Comm.AllReduceBytes)/1e6)
 		fmt.Printf("  broadcast calls:    %d (%.3g MB)\n", res.Comm.BroadcastCalls, float64(res.Comm.BroadcastBytes)/1e6)
-		predicted := dist.PredictedCommBytes(int(kcfg.N()), procs, res.Iterations, dangling)
+		predicted := dist.PredictedCommBytes(n, procs, res.Iterations, dangling)
 		fmt.Printf("  predicted comm:     %.3g MB\n", float64(predicted)/1e6)
 		if res.RankSeconds != nil {
 			slowest := 0.0
@@ -445,18 +463,23 @@ func runDistributed(scale, edgeFactor int, seed uint64, procs, rankWorkers, iter
 // requested mode, verifies the output against the serial stable radix
 // sort and the communication record against the in-memory distributed
 // sort, and reports spill statistics.
-func runExternalSort(l *edge.List, procs, runEdges int, modes []dist.ExecMode) error {
+func runExternalSort(ctx context.Context, l *edge.List, procs, runEdges int, modes []dist.ExecMode) error {
 	serial := l.Clone()
 	xsort.RadixByU(serial)
-	inMem, err := dist.Sort(l, procs)
+	inMemOut, err := dist.Execute(ctx, dist.Spec{Op: dist.OpSort, Edges: l, Procs: procs})
 	if err != nil {
 		return err
 	}
+	inMem := inMemOut.Sort
 	for _, m := range modes {
-		res, err := dist.SortExternalMode(m, l, procs, dist.ExtSortConfig{RunEdges: runEdges})
+		extOut, err := dist.Execute(ctx, dist.Spec{
+			Config: dist.Config{Mode: m}, Op: dist.OpSortExternal,
+			Edges: l, Procs: procs, Ext: dist.ExtSortConfig{RunEdges: runEdges},
+		})
 		if err != nil {
 			return err
 		}
+		res := extOut.ExtSort
 		totalRuns := 0
 		for _, r := range res.RunsPerRank {
 			totalRuns += r
@@ -480,19 +503,17 @@ func runExternalSort(l *edge.List, procs, runEdges int, modes []dist.ExecMode) e
 // count crossed with each hybrid intra-rank worker count, tabulating
 // wall-clock scaling next to the hardware model's predicted speedup and
 // asserting the byte identity at every (p, w) — the Workers axis must
-// change wall clock only, never a byte.
-func runProcSweep(scale, edgeFactor int, seed uint64, sweep string, workerCounts []int, iterations int, damping float64, dangling bool, format string) error {
+// change wall clock only, never a byte.  Every cell draws the input from
+// the service's generator cache, so the Kronecker graph is generated
+// once per sweep, not once per cell; the table footer reports the cache
+// counters as proof.
+func runProcSweep(ctx context.Context, svc *core.Service, scale, edgeFactor int, seed uint64, sweep string, workerCounts []int, iterations int, damping float64, dangling bool, format string) error {
 	ps, err := parseIntList(sweep)
 	if err != nil {
 		return fmt.Errorf("bad -procsweep: %w", err)
 	}
-	kcfg := kronecker.New(scale, seed)
-	kcfg.EdgeFactor = edgeFactor
-	l, err := kronecker.Generate(kcfg)
-	if err != nil {
-		return err
-	}
-	n := int(kcfg.N())
+	key := core.GraphKey{Scale: scale, EdgeFactor: edgeFactor, Seed: seed}
+	n := 1 << uint(scale)
 	h := perfmodel.PaperNode()
 	t := results.NewTable(
 		fmt.Sprintf("Goroutine-rank scaling: scale %d, %d iterations", scale, iterations),
@@ -500,11 +521,19 @@ func runProcSweep(scale, edgeFactor int, seed uint64, sweep string, workerCounts
 	base, modelBase := 0.0, 0.0
 	for _, p := range ps {
 		for _, rw := range workerCounts {
-			opt := pagerank.Options{Iterations: iterations, Damping: damping, Dangling: dangling, Seed: seed}
-			res, err := dist.RunCfg(dist.Config{Mode: dist.ExecGoroutine, Workers: rw}, l, n, p, opt)
+			l, err := svc.Edges(ctx, key) // one generation, then cache hits
 			if err != nil {
 				return err
 			}
+			opt := pagerank.Options{Iterations: iterations, Damping: damping, Dangling: dangling, Seed: seed}
+			out, err := dist.Execute(ctx, dist.Spec{
+				Config: dist.Config{Mode: dist.ExecGoroutine, Workers: rw},
+				Op:     dist.OpRun, Edges: l, N: n, Procs: p, PageRank: opt,
+			})
+			if err != nil {
+				return err
+			}
+			res := out.Run
 			w := perfmodel.Workload{Scale: scale, EdgeFactor: edgeFactor, Iterations: iterations, RankWorkers: rw}
 			cmp, err := perfmodel.CompareRankElapsed(h, w, res.RankSeconds)
 			if err != nil {
@@ -530,6 +559,9 @@ func runProcSweep(scale, edgeFactor int, seed uint64, sweep string, workerCounts
 		}
 	}
 	emit(t, format)
+	st := svc.Stats()
+	fmt.Printf("generator cache: %d hits, %d misses — the sweep's graph was generated once, not once per cell\n",
+		st.CacheHits, st.CacheMisses)
 	return nil
 }
 

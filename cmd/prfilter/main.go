@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -28,7 +29,7 @@ func main() {
 		fatal(err)
 	}
 	cfg := core.Config{Scale: *scale, EdgeFactor: *edgeFactor, FS: fsys, Variant: *variant}
-	res, err := core.RunKernels(cfg, []core.Kernel{core.K2Filter})
+	res, err := core.RunOnce(context.Background(), cfg, core.K2Filter)
 	if err != nil {
 		fatal(err)
 	}

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -36,7 +37,7 @@ func main() {
 		FS: fsys, Variant: *variant, Generator: pipeline.GeneratorKind(*generator),
 	}
 	start := time.Now()
-	res, err := core.RunKernels(cfg, []core.Kernel{core.K0Generate})
+	res, err := core.RunOnce(context.Background(), cfg, core.K0Generate)
 	if err != nil {
 		fatal(err)
 	}

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -39,7 +40,7 @@ func main() {
 		Seed: *seed, KeepRank: *top > 0,
 		PageRank: pagerank.Options{Iterations: *iterations, Damping: *damping, Dangling: *dangling, Seed: *seed},
 	}
-	res, err := core.RunKernels(cfg, []core.Kernel{core.K2Filter, core.K3PageRank})
+	res, err := core.RunOnce(context.Background(), cfg, core.K2Filter, core.K3PageRank)
 	if err != nil {
 		fatal(err)
 	}

@@ -14,6 +14,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -60,6 +61,10 @@ func tableII() {
 }
 
 func figures(minScale, maxScale int, seed uint64) {
+	// Like prbench -sweep: the per-variant kernel-0 measurement must
+	// actually generate, so this service's cache is disabled.
+	svc := core.NewService(core.WithCacheCapacity(0), core.WithMaxConcurrent(1))
+	defer svc.Close()
 	titles := [4]string{
 		"Figure 4 — kernel 0 (generate)",
 		"Figure 5 — kernel 1 (sort)",
@@ -77,7 +82,7 @@ func figures(minScale, maxScale int, seed uint64) {
 		}
 		for s := minScale; s <= maxScale; s++ {
 			cfg := core.Config{Scale: s, Seed: seed, Variant: v}
-			res, err := core.Run(cfg)
+			res, err := svc.Run(context.Background(), cfg)
 			if err != nil {
 				fatal(err)
 			}
@@ -135,14 +140,18 @@ func distributed(seed uint64, procs int) {
 		fatal(err)
 	}
 	n := int(kcfg.N())
-	sim, err := dist.RunMode(dist.ExecSim, l, n, procs, pagerank.Options{Seed: seed})
-	if err != nil {
-		fatal(err)
+	runMode := func(mode dist.ExecMode) *dist.Result {
+		out, err := dist.Execute(context.Background(), dist.Spec{
+			Config: dist.Config{Mode: mode}, Op: dist.OpRun,
+			Edges: l, N: n, Procs: procs, PageRank: pagerank.Options{Seed: seed},
+		})
+		if err != nil {
+			fatal(err)
+		}
+		return out.Run
 	}
-	real, err := dist.RunMode(dist.ExecGoroutine, l, n, procs, pagerank.Options{Seed: seed})
-	if err != nil {
-		fatal(err)
-	}
+	sim := runMode(dist.ExecSim)
+	real := runMode(dist.ExecGoroutine)
 	predicted := dist.PredictedCommBytes(n, procs, pagerank.DefaultIterations, false)
 	fmt.Printf("- processors: %d\n", procs)
 	fmt.Printf("- all-reduce calls: %d, broadcast calls: %d\n", sim.Comm.AllReduceCalls, sim.Comm.BroadcastCalls)
@@ -177,16 +186,21 @@ func outOfCore(l *edge.List, procs int) {
 	fmt.Println()
 	serial := l.Clone()
 	xsort.RadixByU(serial)
-	inMem, err := dist.Sort(l, procs)
+	inMemOut, err := dist.Execute(context.Background(), dist.Spec{Op: dist.OpSort, Edges: l, Procs: procs})
 	if err != nil {
 		fatal(err)
 	}
+	inMem := inMemOut.Sort
 	runEdges := l.Len()/(3*procs) + 1 // force ~3 spilled runs per rank
 	for _, mode := range []dist.ExecMode{dist.ExecSim, dist.ExecGoroutine} {
-		res, err := dist.SortExternalMode(mode, l, procs, dist.ExtSortConfig{RunEdges: runEdges})
+		out, err := dist.Execute(context.Background(), dist.Spec{
+			Config: dist.Config{Mode: mode}, Op: dist.OpSortExternal,
+			Edges: l, Procs: procs, Ext: dist.ExtSortConfig{RunEdges: runEdges},
+		})
 		if err != nil {
 			fatal(err)
 		}
+		res := out.ExtSort
 		if !res.Sorted.Equal(serial) {
 			fatal(fmt.Errorf("out-of-core sort (%v) diverges from the serial radix sort", mode))
 		}
@@ -215,10 +229,14 @@ func scaling(l *edge.List, n int, seed uint64) {
 	t := results.NewTable("", "Ranks", "Slowest rank s", "Speedup", "Model speedup", "Imbalance")
 	base := 0.0
 	for _, p := range []int{1, 2, 4, 8} {
-		res, err := dist.RunMode(dist.ExecGoroutine, l, n, p, pagerank.Options{Seed: seed})
+		out, err := dist.Execute(context.Background(), dist.Spec{
+			Config: dist.Config{Mode: dist.ExecGoroutine}, Op: dist.OpRun,
+			Edges: l, N: n, Procs: p, PageRank: pagerank.Options{Seed: seed},
+		})
 		if err != nil {
 			fatal(err)
 		}
+		res := out.Run
 		cmp, err := perfmodel.CompareRankElapsed(h, w, res.RankSeconds)
 		if err != nil {
 			fatal(err)

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -33,7 +34,7 @@ func main() {
 		Scale: *scale, EdgeFactor: *edgeFactor, NFiles: *nfiles,
 		FS: fsys, Variant: *variant, SortEndVertices: *sortEnds,
 	}
-	res, err := core.RunKernels(cfg, []core.Kernel{core.K1Sort})
+	res, err := core.RunOnce(context.Background(), cfg, core.K1Sort)
 	if err != nil {
 		fatal(err)
 	}

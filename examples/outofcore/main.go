@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
@@ -28,6 +29,9 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	ctx := context.Background()
+	svc := core.NewService()
+	defer svc.Close()
 
 	const scale = 14 // M = 262144 edges
 	cfg := core.Config{
@@ -42,7 +46,7 @@ func main() {
 	}
 	fmt.Printf("out-of-core pipeline: scale %d, run buffer %d edges (~%d KiB of 'RAM')\n",
 		scale, cfg.RunEdges, cfg.RunEdges*16/1024)
-	res, err := core.Run(cfg)
+	res, err := svc.Run(ctx, cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -52,13 +56,18 @@ func main() {
 
 	// Ground truth: the fully in-memory optimized variant on the same
 	// seed must produce the identical matrix and (up to FP reassociation)
-	// the same ranks.
-	ref, err := core.Run(core.Config{
+	// the same ranks.  (The extsort run above streamed its kernel 0 in
+	// bounded memory and deliberately bypassed the service's generator
+	// cache, so this run generates — a miss, which GenCache records.)
+	ref, err := svc.Run(ctx, core.Config{
 		Scale: scale, Seed: 9, Variant: "csr", KeepRank: true,
 		PageRank: pagerank.Options{Seed: 9},
 	})
 	if err != nil {
 		log.Fatal(err)
+	}
+	if ref.GenCache == nil || ref.GenCache.Misses != 1 {
+		log.Fatalf("expected the validation run to record one generation, got %+v", ref.GenCache)
 	}
 	if res.NNZ != ref.NNZ {
 		log.Fatalf("NNZ mismatch: out-of-core %d vs in-memory %d", res.NNZ, ref.NNZ)

@@ -1,0 +1,97 @@
+// Service: the production-shaped session API — one long-lived
+// core.Service handling many concurrent benchmark runs.
+//
+// Three scenes:
+//
+//  1. Fan-in: seven concurrent runs of the same graph through different
+//     variants.  The service's singleflight generator cache makes the
+//     whole batch generate kernel 0 exactly once (1 miss, 6 hits) while
+//     the admission queue caps how many execute at a time.
+//  2. Streaming: one run observed live through RunStream — per-kernel
+//     boundaries and per-iteration kernel-3 ticks instead of "wait for
+//     the whole Result".
+//  3. Cancellation: a run cancelled mid-kernel-3 returns
+//     context.Canceled promptly, in the goroutine-rank execution mode,
+//     with every rank goroutine torn down.
+//
+//	go run ./examples/service
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/pagerank"
+)
+
+func main() {
+	ctx := context.Background()
+	svc := core.NewService(core.WithMaxConcurrent(4))
+	defer svc.Close()
+
+	// --- Scene 1: seven concurrent runs, one generated graph. ---------
+	// ("parallel" and "extsort" are absent by design: the former
+	// generates with per-worker jump streams — a different edge order —
+	// and the latter streams kernel 0 in bounded memory; both bypass
+	// the shared cache.)
+	variants := []string{"csr", "coo", "columnar", "distext", "graphblas", "dist", "distgo"}
+	results := make([]*core.Result, len(variants))
+	var wg sync.WaitGroup
+	for i, v := range variants {
+		wg.Add(1)
+		go func(i int, v string) {
+			defer wg.Done()
+			res, err := svc.Run(ctx, core.Config{Scale: 12, Seed: 7, Variant: v})
+			if err != nil {
+				log.Fatalf("variant %s: %v", v, err)
+			}
+			results[i] = res
+		}(i, v)
+	}
+	wg.Wait()
+	fmt.Printf("%d concurrent runs (max 4 executing at once):\n", len(variants))
+	for i, v := range variants {
+		k3 := results[i].KernelResultFor(core.K3PageRank)
+		fmt.Printf("  %-10s nnz=%d  %.4g edges/s\n", v, results[i].NNZ, k3.EdgesPerSecond)
+	}
+	st := svc.Stats()
+	fmt.Printf("generator cache after the batch: %d misses, %d hits — kernel 0 ran once for all %d runs\n\n",
+		st.CacheMisses, st.CacheHits, len(variants))
+
+	// --- Scene 2: streaming progress. ---------------------------------
+	fmt.Println("streaming one distgo run:")
+	iterations := 0
+	for ev := range svc.RunStream(ctx, core.Config{Scale: 12, Seed: 7, Variant: "distgo"}) {
+		switch ev.Kind {
+		case core.EventRunStarted:
+			fmt.Println("  run started (cleared admission)")
+		case core.EventKernelEnd:
+			fmt.Printf("  %-18v %.4fs\n", ev.Kernel, ev.KernelResult.Seconds)
+		case core.EventIteration:
+			iterations++ // one tick per PageRank iteration
+		case core.EventRunEnd:
+			if ev.Err != nil {
+				log.Fatal(ev.Err)
+			}
+			fmt.Printf("  run done: %d iteration events, %d nonzeros\n\n", iterations, ev.Result.NNZ)
+		}
+	}
+
+	// --- Scene 3: cancellation mid-kernel-3. --------------------------
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	cfg := core.Config{
+		Scale: 12, Seed: 7, Variant: "distgo",
+		PageRank: pagerank.Options{Iterations: 1000},
+	}
+	_, err := svc.Run(cctx, cfg, core.WithProgress(func(ev core.PipelineEvent) {
+		if ev.Kind == core.EventPipelineIteration && ev.Iteration == 3 {
+			cancel() // pull the plug three iterations into kernel 3
+		}
+	}))
+	fmt.Printf("cancelled mid-K3: err = %v (context.Canceled: %v)\n", err, errors.Is(err, context.Canceled))
+}

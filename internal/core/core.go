@@ -1,15 +1,26 @@
 // Package core is the top-level public API of the PageRank pipeline
-// benchmark: a thin facade over the pipeline, pagerank, dist and perfmodel
-// packages that exposes everything a benchmark user needs from one import.
+// benchmark: a thin facade over the serve, pipeline, pagerank, dist and
+// perfmodel packages that exposes everything a benchmark user needs from
+// one import.
 //
-// Quick start:
+// Quick start — construct one long-lived Service and run pipelines
+// through it:
 //
-//	cfg := core.Config{Scale: 16, Seed: 1}
-//	res, err := core.Run(cfg)
+//	svc := core.NewService()
+//	defer svc.Close()
+//	res, err := svc.Run(ctx, core.Config{Scale: 16, Seed: 1})
 //	if err != nil { ... }
 //	for _, k := range res.Kernels {
 //		fmt.Printf("%v: %.3g edges/s\n", k.Kernel, k.EdgesPerSecond)
 //	}
+//
+// The Service is the context-aware session API (DESIGN.md §8): it
+// bounds concurrent runs, generates each distinct (generator, scale,
+// edgeFactor, seed) graph exactly once however many concurrent runs ask
+// for it (svc.Run), streams per-kernel and per-iteration progress
+// (svc.RunStream), and aborts mid-kernel on context cancellation.  The
+// one-shot core.Run remains for throwaway calls; prefer the Service
+// anywhere more than one run happens.
 //
 // The benchmark follows the IPDPS 2016 proposal "PageRank Pipeline
 // Benchmark" (Dreher, Byun, Hill, Gadepally, Kuszmaul, Kepner): kernel 0
@@ -21,11 +32,14 @@
 package core
 
 import (
+	"context"
+
 	"repro/internal/dist"
 	"repro/internal/edge"
 	"repro/internal/pagerank"
 	"repro/internal/perfmodel"
 	"repro/internal/pipeline"
+	"repro/internal/serve"
 	"repro/internal/vfs"
 )
 
@@ -59,11 +73,94 @@ const (
 // PageRankOptions configures kernel 3.  See pagerank.Options.
 type PageRankOptions = pagerank.Options
 
-// Run executes the full four-kernel pipeline.
+// ---------------------------------------------------------------------------
+// The Service session API (internal/serve; DESIGN.md §8)
+
+// Service is the long-lived run coordinator: bounded concurrent runs, a
+// shared singleflight generator cache, context cancellation and
+// streaming progress.  See serve.Service.
+type Service = serve.Service
+
+// ServiceOption configures NewService.
+type ServiceOption = serve.Option
+
+// RunOption configures one Service.Run or Service.RunStream call.
+type RunOption = serve.RunOption
+
+// GraphKey is the generator cache's key: the identity of a generated
+// graph.
+type GraphKey = serve.GraphKey
+
+// ServiceStats is a snapshot of a Service's run and cache counters.
+type ServiceStats = serve.Stats
+
+// Event is one observation of a streaming run (Service.RunStream).
+type Event = serve.Event
+
+// The streaming event kinds.
+const (
+	EventRunStarted  = serve.EventRunStarted
+	EventKernelStart = serve.EventKernelStart
+	EventKernelEnd   = serve.EventKernelEnd
+	EventIteration   = serve.EventIteration
+	EventRunEnd      = serve.EventRunEnd
+)
+
+// NewService constructs the long-lived Service.  The default admits
+// GOMAXPROCS concurrent runs and caches up to 8 generated graphs.
+func NewService(opts ...ServiceOption) *Service { return serve.New(opts...) }
+
+// WithMaxConcurrent bounds the Service's concurrently executing runs.
+func WithMaxConcurrent(n int) ServiceOption { return serve.WithMaxConcurrent(n) }
+
+// WithCacheCapacity bounds the Service's generator cache (0 disables it).
+func WithCacheCapacity(n int) ServiceOption { return serve.WithCacheCapacity(n) }
+
+// WithKernels restricts a Service run to the listed kernels.
+func WithKernels(ks ...Kernel) RunOption { return serve.WithKernels(ks...) }
+
+// PipelineEvent is the synchronous in-run progress observation delivered
+// to WithProgress callbacks (RunStream is its channel-shaped form).
+type PipelineEvent = pipeline.Event
+
+// The pipeline-level event kinds.
+const (
+	EventPipelineKernelStart = pipeline.EventKernelStart
+	EventPipelineKernelEnd   = pipeline.EventKernelEnd
+	EventPipelineIteration   = pipeline.EventIteration
+)
+
+// WithProgress attaches a synchronous observer to a Service run.
+func WithProgress(fn func(PipelineEvent)) RunOption { return serve.WithProgress(fn) }
+
+// RunOnce executes one pipeline through a throwaway Service — the
+// context-aware one-shot for CLIs and scripts that run a single
+// pipeline and exit (cache off: there is nothing to share).  An empty
+// kernel list means all four.
+func RunOnce(ctx context.Context, cfg Config, ks ...Kernel) (*Result, error) {
+	svc := NewService(WithCacheCapacity(0))
+	defer svc.Close()
+	var opts []RunOption
+	if len(ks) > 0 {
+		opts = append(opts, WithKernels(ks...))
+	}
+	return svc.Run(ctx, cfg, opts...)
+}
+
+// ---------------------------------------------------------------------------
+// One-shot entrypoints (prefer the Service for anything long-lived)
+
+// Run executes the full four-kernel pipeline once.
+//
+// Deprecated: construct a Service with NewService and use Service.Run —
+// it adds cancellation, admission control, the shared generator cache
+// and streaming progress.  Results are bit-for-bit identical.
 func Run(cfg Config) (*Result, error) { return pipeline.Execute(cfg) }
 
 // RunKernels executes a subset of kernels in order; earlier kernels'
 // artifacts must already exist in cfg.FS.
+//
+// Deprecated: use Service.Run with the WithKernels option.
 func RunKernels(cfg Config, kernels []Kernel) (*Result, error) {
 	return pipeline.ExecuteKernels(cfg, kernels)
 }
@@ -96,17 +193,20 @@ const (
 )
 
 // DistributedRun executes the simulated distributed kernel-2/kernel-3
-// pipeline over p processors.  See dist.Run.
+// pipeline over p processors.
+//
+// Deprecated: use dist.Execute with dist.OpRun.
 func DistributedRun(l *edge.List, n, p int, opt PageRankOptions) (*dist.Result, error) {
-	return dist.Run(l, n, p, opt)
+	return DistributedRunCfg(DistConfig{}, l, n, p, opt)
 }
 
 // DistributedRunMode executes the distributed kernel-2/kernel-3 pipeline
 // in the given execution mode; ExecGoroutine runs p concurrent goroutine
 // ranks with real channel message passing and fills Result.RankSeconds.
-// See dist.RunMode.
+//
+// Deprecated: use dist.Execute with dist.OpRun.
 func DistributedRunMode(mode ExecMode, l *edge.List, n, p int, opt PageRankOptions) (*dist.Result, error) {
-	return dist.RunMode(mode, l, n, p, opt)
+	return DistributedRunCfg(DistConfig{Mode: mode}, l, n, p, opt)
 }
 
 // DistConfig is the distributed runtime's full configuration: execution
@@ -116,9 +216,17 @@ type DistConfig = dist.Config
 // DistributedRunCfg executes the distributed kernel-2/kernel-3 pipeline
 // under the full runtime configuration; DistConfig.Workers spins that
 // many worker goroutines inside every rank (hybrid MPI+OpenMP-style
-// execution) without changing a bit of the result.  See dist.RunCfg.
+// execution) without changing a bit of the result.
+//
+// Deprecated: use dist.Execute with dist.OpRun.
 func DistributedRunCfg(cfg DistConfig, l *edge.List, n, p int, opt PageRankOptions) (*dist.Result, error) {
-	return dist.RunCfg(cfg, l, n, p, opt)
+	out, err := dist.Execute(context.Background(), dist.Spec{
+		Config: cfg, Op: dist.OpRun, Edges: l, N: n, Procs: p, PageRank: opt,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out.Run, nil
 }
 
 // PredictKernels returns the hardware-model predictions for all four

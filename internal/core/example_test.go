@@ -1,10 +1,39 @@
 package core_test
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core"
 )
+
+// ExampleNewService runs the benchmark through the session API: a
+// long-lived Service whose generator cache makes the second same-graph
+// run skip kernel-0 generation entirely.
+func ExampleNewService() {
+	svc := core.NewService(core.WithMaxConcurrent(2))
+	defer svc.Close()
+	ctx := context.Background()
+	cfg := core.Config{Scale: 6, EdgeFactor: 4, Seed: 1}
+	if _, err := svc.Run(ctx, cfg); err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	cfg.Variant = "dist" // same graph, different implementation
+	res, err := svc.Run(ctx, cfg)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	st := svc.Stats()
+	fmt.Println("second run cache hits:", res.GenCache.Hits)
+	fmt.Println("service misses:", st.CacheMisses)
+	fmt.Println("pagerank iterations:", res.RankIterations)
+	// Output:
+	// second run cache hits: 1
+	// service misses: 1
+	// pagerank iterations: 20
+}
 
 // ExampleRun executes the full four-kernel benchmark at a tiny scale and
 // prints the structural invariants (timings vary run to run, so the

@@ -8,6 +8,7 @@ package dist
 // itself.
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/kronecker"
@@ -24,7 +25,7 @@ func testBlock(t testing.TB, p, r int) (*rankState, int) {
 	}
 	n := int(cfg.N())
 	c := &comm{p: p}
-	states, _, _, err := buildFiltered(l, n, p, c)
+	states, _, _, err := buildFiltered(context.Background(), l, n, p, c)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -50,10 +50,20 @@ import (
 const linkBuf = 4
 
 // fabric is the message plane of one goroutine run: p² dedicated links
-// plus the shared envelope pools.
+// plus the shared envelope pools and the teardown plane.
 type fabric struct {
 	p     int
 	links []chan any // links[src*p+dst]
+
+	// done is the teardown plane: closed (once, by abort) when the run
+	// must come down — a rank failed, or the run's context was cancelled.
+	// Every link operation selects on it, so a rank blocked mid-collective
+	// on a peer that will never arrive unwinds instead of leaking; its
+	// goroutine exits through the fabricDown panic that spawnRanks
+	// recovers.  In a healthy run the channel is never closed and the
+	// extra select arm never fires.
+	done      chan struct{}
+	abortOnce sync.Once
 
 	// mu guards the envelope free lists.  A plain mutex-protected list —
 	// rather than a sync.Pool — keeps the steady-state allocation count
@@ -64,6 +74,16 @@ type fabric struct {
 	freeKeys []*keyMsg
 }
 
+// abort trips the teardown plane.  Idempotent and safe from any
+// goroutine; every subsequent (and every currently blocked) link
+// operation panics fabricDown.
+func (f *fabric) abort() { f.abortOnce.Do(func() { close(f.done) }) }
+
+// fabricDown is the sentinel a link operation panics with after abort;
+// spawnRanks' per-rank recover converts it into errRunAborted.  Any other
+// panic value is a genuine bug and is re-raised.
+type fabricDown struct{}
+
 // vecMsg is a pooled float64 payload envelope: rank-vector replicas,
 // in-degree partials and (at length 1) the scalar reductions.
 type vecMsg struct{ buf []float64 }
@@ -73,7 +93,7 @@ type vecMsg struct{ buf []float64 }
 type keyMsg struct{ buf []uint64 }
 
 func newFabric(p int) *fabric {
-	f := &fabric{p: p, links: make([]chan any, p*p)}
+	f := &fabric{p: p, links: make([]chan any, p*p), done: make(chan struct{})}
 	for i := range f.links {
 		f.links[i] = make(chan any, linkBuf)
 	}
@@ -149,11 +169,26 @@ type rankComm struct {
 
 func (c *rankComm) procs() int { return c.f.p }
 
-// send delivers m to dst's inbound link from this rank.
-func (c *rankComm) send(dst int, m any) { c.f.links[c.rank*c.f.p+dst] <- m }
+// send delivers m to dst's inbound link from this rank, or unwinds if the
+// fabric comes down first (the select adds no allocation to the hot path).
+func (c *rankComm) send(dst int, m any) {
+	select {
+	case c.f.links[c.rank*c.f.p+dst] <- m:
+	case <-c.f.done:
+		panic(fabricDown{})
+	}
+}
 
-// recv takes the next message on the link from src.
-func (c *rankComm) recv(src int) any { return <-c.f.links[src*c.f.p+c.rank] }
+// recv takes the next message on the link from src, or unwinds if the
+// fabric comes down first.
+func (c *rankComm) recv(src int) any {
+	select {
+	case m := <-c.f.links[src*c.f.p+c.rank]:
+		return m
+	case <-c.f.done:
+		panic(fabricDown{})
+	}
+}
 
 // recvVec takes the next message from src, which the schedule guarantees
 // is a pooled float envelope; a mismatch is a protocol bug.  Ownership

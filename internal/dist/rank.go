@@ -12,6 +12,8 @@ package dist
 // runtimes and the closed form.
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -64,6 +66,8 @@ func ParseExecMode(s string) (ExecMode, error) {
 // RunMode executes the distributed kernel-2/kernel-3 pipeline in the given
 // execution mode.  Both modes produce bit-for-bit identical Rank vectors
 // and identical CommStats; ExecGoroutine additionally fills RankSeconds.
+//
+// Deprecated: use Execute with OpRun.
 func RunMode(mode ExecMode, l *edge.List, n, p int, opt pagerank.Options) (*Result, error) {
 	return RunCfg(Config{Mode: mode}, l, n, p, opt)
 }
@@ -72,79 +76,92 @@ func RunMode(mode ExecMode, l *edge.List, n, p int, opt pagerank.Options) (*Resu
 // full runtime configuration: execution mode plus hybrid intra-rank
 // workers.  The result — rank vector bits and CommStats alike — is
 // invariant in both Mode and Workers; only wall clock changes.
+//
+// Deprecated: use Execute with OpRun.
 func RunCfg(cfg Config, l *edge.List, n, p int, opt pagerank.Options) (*Result, error) {
-	switch cfg.Mode {
-	case ExecSim:
-		return runSim(cfg, l, n, p, opt)
-	case ExecGoroutine:
-		return runGoroutine(cfg, l, n, p, opt)
-	default:
-		return nil, fmt.Errorf("dist: unknown execution mode %v", cfg.Mode)
+	out, err := Execute(context.Background(), Spec{
+		Config: cfg, Op: OpRun, Edges: l, N: n, Procs: p, PageRank: opt,
+	})
+	if err != nil {
+		return nil, err
 	}
+	return out.Run, nil
 }
 
 // SortMode executes the distributed sample sort in the given mode.
+//
+// Deprecated: use Execute with OpSort.
 func SortMode(mode ExecMode, l *edge.List, p int) (*SortResult, error) {
 	return SortCfg(Config{Mode: mode}, l, p)
 }
 
 // SortCfg executes the distributed sample sort under the full runtime
 // configuration; Workers parallelizes each rank's bucket partitioning.
+//
+// Deprecated: use Execute with OpSort.
 func SortCfg(cfg Config, l *edge.List, p int) (*SortResult, error) {
-	switch cfg.Mode {
-	case ExecSim:
-		return sortSim(cfg, l, p)
-	case ExecGoroutine:
-		return sortGoroutine(cfg, l, p)
-	default:
-		return nil, fmt.Errorf("dist: unknown execution mode %v", cfg.Mode)
+	out, err := Execute(context.Background(), Spec{
+		Config: cfg, Op: OpSort, Edges: l, Procs: p,
+	})
+	if err != nil {
+		return nil, err
 	}
+	return out.Sort, nil
 }
 
 // BuildFilteredMode executes the distributed kernel 2 in the given mode.
+//
+// Deprecated: use Execute with OpBuildFiltered.
 func BuildFilteredMode(mode ExecMode, l *edge.List, n, p int) (*BuildResult, error) {
-	switch mode {
-	case ExecSim:
-		return BuildFiltered(l, n, p)
-	case ExecGoroutine:
-		return buildFilteredGoroutine(l, n, p)
-	default:
-		return nil, fmt.Errorf("dist: unknown execution mode %v", mode)
+	out, err := Execute(context.Background(), Spec{
+		Config: Config{Mode: mode}, Op: OpBuildFiltered, Edges: l, N: n, Procs: p,
+	})
+	if err != nil {
+		return nil, err
 	}
+	return out.Build, nil
 }
 
 // RunMatrixMode executes the distributed kernel-3 iteration on a built
 // matrix in the given mode.
+//
+// Deprecated: use Execute with OpRunMatrix.
 func RunMatrixMode(mode ExecMode, a *sparse.CSR, p int, opt pagerank.Options) (*Result, error) {
 	return RunMatrixCfg(Config{Mode: mode}, a, p, opt)
 }
 
 // RunMatrixCfg executes the distributed kernel-3 iteration on a built
 // matrix under the full runtime configuration.
+//
+// Deprecated: use Execute with OpRunMatrix.
 func RunMatrixCfg(cfg Config, a *sparse.CSR, p int, opt pagerank.Options) (*Result, error) {
-	switch cfg.Mode {
-	case ExecSim:
-		return runMatrixSim(cfg, a, p, opt)
-	case ExecGoroutine:
-		if a == nil {
-			return nil, fmt.Errorf("dist: RunMatrix of nil matrix")
-		}
-		if p < 1 {
-			return nil, fmt.Errorf("dist: RunMatrix with p = %d, want >= 1", p)
-		}
-		states := splitMatrix(a, p)
-		out, err := spawnRanks(p, func(c *rankComm) rankOutcome {
-			rank, iters, err := iterateRank(c, states[c.rank], a.N, opt, cfg.workers())
-			return rankOutcome{rank: rank, iters: iters, err: err}
-		})
-		if err != nil {
-			return nil, err
-		}
-		out.result.NNZ = a.NNZ()
-		return out.result, nil
-	default:
-		return nil, fmt.Errorf("dist: unknown execution mode %v", cfg.Mode)
+	out, err := Execute(context.Background(), Spec{
+		Config: cfg, Op: OpRunMatrix, Matrix: a, Procs: p, PageRank: opt,
+	})
+	if err != nil {
+		return nil, err
 	}
+	return out.Run, nil
+}
+
+// runMatrixGoroutine is the concurrent execution of RunMatrix's schedule.
+func runMatrixGoroutine(ctx context.Context, cfg Config, a *sparse.CSR, p int, opt pagerank.Options) (*Result, error) {
+	if a == nil {
+		return nil, fmt.Errorf("dist: RunMatrix of nil matrix")
+	}
+	if p < 1 {
+		return nil, fmt.Errorf("dist: RunMatrix with p = %d, want >= 1", p)
+	}
+	states := splitMatrix(a, p)
+	out, err := spawnRanks(ctx, p, func(c *rankComm) rankOutcome {
+		rank, iters, err := iterateRank(ctx, c, states[c.rank], a.N, opt, cfg.workers())
+		return rankOutcome{rank: rank, iters: iters, err: err}
+	})
+	if err != nil {
+		return nil, err
+	}
+	out.result.NNZ = a.NNZ()
+	return out.result, nil
 }
 
 // rankOutcome is what one rank's program hands back to the driver.
@@ -177,11 +194,39 @@ type joined struct {
 	result   *Result
 }
 
+// errRunAborted is the error a rank reports when it unwound because the
+// fabric came down underneath it — a peer failed, or the run's context
+// was cancelled.  spawnRanks surfaces the cause (the context's error or
+// the originating rank's error) in preference to this sentinel.
+var errRunAborted = errors.New("dist: run aborted")
+
 // spawnRanks runs the rank program on p concurrent goroutines over a
 // fresh fabric, joins them, and folds the per-rank communication records
 // and wall-clock times into a Result skeleton.
-func spawnRanks(p int, program func(c *rankComm) rankOutcome) (*joined, error) {
+//
+// Teardown is defer-based and cannot strand a rank: a rank whose program
+// returns an error (or panics) trips the fabric's teardown plane on its
+// way out, which unwinds every peer blocked inside a collective; a
+// cancelled ctx trips the same plane through a watcher goroutine.  Every
+// rank goroutine therefore joins — wg.Wait cannot hang — and the watcher
+// itself is stopped before spawnRanks returns, so an aborted run leaks
+// nothing (rank_test.go counts goroutines to pin this).
+func spawnRanks(ctx context.Context, p int, program func(c *rankComm) rankOutcome) (*joined, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	f := newFabric(p)
+	var stopWatch chan struct{}
+	if ctx.Done() != nil {
+		stopWatch = make(chan struct{})
+		go func() {
+			select {
+			case <-ctx.Done():
+				f.abort()
+			case <-stopWatch:
+			}
+		}()
+	}
 	comms := make([]*rankComm, p)
 	outcomes := make([]rankOutcome, p)
 	seconds := make([]float64, p)
@@ -191,16 +236,52 @@ func spawnRanks(p int, program func(c *rankComm) rankOutcome) (*joined, error) {
 		wg.Add(1)
 		go func(r int) {
 			defer wg.Done()
+			// Runs after the recover below: a rank that failed for any
+			// reason brings the fabric down so no peer waits for it.
+			defer func() {
+				if outcomes[r].err != nil {
+					f.abort()
+				}
+			}()
+			defer func() {
+				if e := recover(); e != nil {
+					if _, down := e.(fabricDown); down {
+						outcomes[r].err = errRunAborted
+						return
+					}
+					// A genuine bug: free the peers, then crash as before.
+					f.abort()
+					panic(e)
+				}
+			}()
 			start := time.Now()
 			outcomes[r] = program(comms[r])
 			seconds[r] = time.Since(start).Seconds()
 		}(r)
 	}
 	wg.Wait()
+	if stopWatch != nil {
+		close(stopWatch)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	// The originating failure (in rank order) outranks the aborted
+	// sentinel of the ranks it unwound.
+	var aborted error
 	for r := 0; r < p; r++ {
-		if outcomes[r].err != nil {
-			return nil, outcomes[r].err
+		switch err := outcomes[r].err; {
+		case err == nil:
+		case errors.Is(err, errRunAborted):
+			if aborted == nil {
+				aborted = err
+			}
+		default:
+			return nil, err
 		}
+	}
+	if aborted != nil {
+		return nil, aborted
 	}
 	res := &Result{
 		Rank:        outcomes[0].rank,
@@ -215,13 +296,13 @@ func spawnRanks(p int, program func(c *rankComm) rankOutcome) (*joined, error) {
 }
 
 // runGoroutine is the concurrent execution of Run's schedule.
-func runGoroutine(cfg Config, l *edge.List, n, p int, opt pagerank.Options) (*Result, error) {
+func runGoroutine(ctx context.Context, cfg Config, l *edge.List, n, p int, opt pagerank.Options) (*Result, error) {
 	if err := validateRun(l, n, p); err != nil {
 		return nil, err
 	}
-	out, err := spawnRanks(p, func(c *rankComm) rankOutcome {
+	out, err := spawnRanks(ctx, p, func(c *rankComm) rankOutcome {
 		st, mass, nnz := buildRank(c, l, n)
-		rank, iters, err := iterateRank(c, st, n, opt, cfg.workers())
+		rank, iters, err := iterateRank(ctx, c, st, n, opt, cfg.workers())
 		return rankOutcome{st: st, rank: rank, iters: iters, mass: mass, nnz: nnz, err: err}
 	})
 	if err != nil {
@@ -232,11 +313,11 @@ func runGoroutine(cfg Config, l *edge.List, n, p int, opt pagerank.Options) (*Re
 
 // buildFilteredGoroutine is the concurrent execution of BuildFiltered's
 // schedule; the driver assembles the global matrix from the joined blocks.
-func buildFilteredGoroutine(l *edge.List, n, p int) (*BuildResult, error) {
+func buildFilteredGoroutine(ctx context.Context, l *edge.List, n, p int) (*BuildResult, error) {
 	if err := validateRun(l, n, p); err != nil {
 		return nil, err
 	}
-	out, err := spawnRanks(p, func(c *rankComm) rankOutcome {
+	out, err := spawnRanks(ctx, p, func(c *rankComm) rankOutcome {
 		st, mass, nnz := buildRank(c, l, n)
 		return rankOutcome{st: st, mass: mass, nnz: nnz}
 	})
@@ -290,7 +371,7 @@ func buildRank(c *rankComm, l *edge.List, n int) (*rankState, float64, int) {
 
 // iterateRank is one rank's kernel-3 program: rank 0 materializes the
 // initial vector and broadcasts it, then every rank drives the shared
-// pagerank.RunCustom update on its private replica, with the step hook
+// pagerank.Engine update on its private replica, with the step hook
 // computing the block-local partial product and all-reducing it, and the
 // dangling-mass hook all-reducing the owned dangling rows' mass.  Every
 // replica follows a byte-identical trajectory — the all-reduce hands all
@@ -300,7 +381,19 @@ func buildRank(c *rankComm, l *edge.List, n int) (*rankState, float64, int) {
 // bit-for-bit invariantly; combined with the engine's preallocated
 // vectors and the fabric's pooled buffers, the steady-state iteration
 // performs no heap allocation on any rank.
-func iterateRank(c *rankComm, st *rankState, n int, opt pagerank.Options, workers int) ([]float64, int, error) {
+//
+// The engine is driven through RunContext, so every rank checks ctx at
+// its iteration boundary.  The first rank to observe cancellation
+// returns ctx's error; spawnRanks' teardown then brings the fabric down
+// under any peer still blocked in that iteration's collective, so the
+// whole team unwinds promptly (DESIGN.md §8).  The hybrid team's close
+// is deferred and runs on every exit path, unwinding included.
+func iterateRank(ctx context.Context, c *rankComm, st *rankState, n int, opt pagerank.Options, workers int) ([]float64, int, error) {
+	if c.rank != 0 {
+		// Progress is a single-observer hook: the replicas step in
+		// lockstep, so rank 0 reports for the team.
+		opt.Progress = nil
+	}
 	var r0 []float64
 	if c.rank == 0 {
 		if opt.InitialRank != nil {
@@ -309,7 +402,7 @@ func iterateRank(c *rankComm, st *rankState, n int, opt pagerank.Options, worker
 			r0 = pagerank.InitVector(n, opt.Seed)
 		}
 	}
-	opt.InitialRank = c.broadcastFloats(r0) // RunCustom copies, not aliases
+	opt.InitialRank = c.broadcastFloats(r0) // the engine copies, not aliases
 	spmv, h := spmvOf(st, workers)
 	if h != nil {
 		defer h.close()
@@ -321,7 +414,11 @@ func iterateRank(c *rankComm, st *rankState, n int, opt pagerank.Options, worker
 	dangleMass := func(r []float64) float64 {
 		return c.allReduceScalar(danglingMassOf(st, r))
 	}
-	res, err := pagerank.RunCustom(n, step, dangleMass, opt)
+	e, err := pagerank.NewEngine(n, step, dangleMass, opt)
+	if err != nil {
+		return nil, 0, err
+	}
+	res, err := e.RunContext(ctx)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -332,7 +429,7 @@ func iterateRank(c *rankComm, st *rankState, n int, opt pagerank.Options, worker
 // samples, routes and sorts its bucket, and the driver concatenates the
 // buckets in rank order (the unmetered "output stays distributed"
 // convention the simulation shares).
-func sortGoroutine(cfg Config, l *edge.List, p int) (*SortResult, error) {
+func sortGoroutine(ctx context.Context, cfg Config, l *edge.List, p int) (*SortResult, error) {
 	if l == nil {
 		return nil, fmt.Errorf("dist: Sort of nil edge list")
 	}
@@ -345,7 +442,7 @@ func sortGoroutine(cfg Config, l *edge.List, p int) (*SortResult, error) {
 		xsort.RadixByU(out)
 		return &SortResult{Sorted: out}, nil
 	}
-	out, err := spawnRanks(p, func(c *rankComm) rankOutcome {
+	out, err := spawnRanks(ctx, p, func(c *rankComm) rankOutcome {
 		return rankOutcome{edges: sortRank(c, l, cfg.workers())}
 	})
 	if err != nil {
@@ -361,9 +458,9 @@ func sortGoroutine(cfg Config, l *edge.List, p int) (*SortResult, error) {
 // sortExternalGoroutine is the concurrent execution of the out-of-core
 // sort's schedule; each rank spills, samples, routes run segments and
 // merges its bucket, and the driver concatenates the buckets in rank
-// order.  Inputs were validated and defaulted by SortExternalMode.
-func sortExternalGoroutine(l *edge.List, p int, cfg ExtSortConfig, fs vfs.FS) (*ExtSortResult, error) {
-	out, err := spawnRanks(p, func(c *rankComm) rankOutcome {
+// order.  Inputs were validated and defaulted by the Execute dispatcher.
+func sortExternalGoroutine(ctx context.Context, l *edge.List, p int, cfg ExtSortConfig, fs vfs.FS) (*ExtSortResult, error) {
+	out, err := spawnRanks(ctx, p, func(c *rankComm) rankOutcome {
 		bucket, runs, err := sortExternalRank(c, l, fs, cfg.TmpPrefix, cfg.RunEdges)
 		return rankOutcome{edges: bucket, runs: runs, err: err}
 	})

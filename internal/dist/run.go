@@ -18,6 +18,7 @@ package dist
 // identical.
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/edge"
@@ -72,21 +73,21 @@ type rankState struct {
 // processors: route edges by row owner, build and filter the distributed
 // matrix, then iterate PageRank with a metered all-reduce per step.  The
 // result matches pagerank.Scatter on the serially built and filtered
-// matrix to well under 1e-9 for every p.  RunMode selects the concurrent
-// goroutine execution of the same schedule; RunCfg additionally enables
-// hybrid intra-rank workers.
+// matrix to well under 1e-9 for every p.
+//
+// Deprecated: use Execute with OpRun.
 func Run(l *edge.List, n, p int, opt pagerank.Options) (*Result, error) {
-	return runSim(Config{}, l, n, p, opt)
+	return RunCfg(Config{}, l, n, p, opt)
 }
 
 // runSim is the simulated execution of Run's schedule under cfg.
-func runSim(cfg Config, l *edge.List, n, p int, opt pagerank.Options) (*Result, error) {
+func runSim(ctx context.Context, cfg Config, l *edge.List, n, p int, opt pagerank.Options) (*Result, error) {
 	c := &comm{p: p}
-	states, _, nnz, err := buildFiltered(l, n, p, c)
+	states, _, nnz, err := buildFiltered(ctx, l, n, p, c)
 	if err != nil {
 		return nil, err
 	}
-	rank, iters, err := iterate(states, n, opt, c, cfg.workers())
+	rank, iters, err := iterate(ctx, states, n, opt, c, cfg.workers())
 	if err != nil {
 		return nil, err
 	}
@@ -96,14 +97,16 @@ func runSim(cfg Config, l *edge.List, n, p int, opt pagerank.Options) (*Result, 
 // RunMatrix executes the metered distributed kernel-3 iteration on an
 // already filtered, normalized matrix (kernel 2's output), splitting it
 // into p row blocks.  It is the kernel-3 entry point of the pipeline's
-// "dist" variant, which builds the matrix through BuildFiltered first.
+// "dist" variant, which builds the matrix through the kernel-2 op first.
+//
+// Deprecated: use Execute with OpRunMatrix.
 func RunMatrix(a *sparse.CSR, p int, opt pagerank.Options) (*Result, error) {
-	return runMatrixSim(Config{}, a, p, opt)
+	return RunMatrixCfg(Config{}, a, p, opt)
 }
 
 // runMatrixSim is the simulated execution of RunMatrix's schedule under
 // cfg.
-func runMatrixSim(cfg Config, a *sparse.CSR, p int, opt pagerank.Options) (*Result, error) {
+func runMatrixSim(ctx context.Context, cfg Config, a *sparse.CSR, p int, opt pagerank.Options) (*Result, error) {
 	if a == nil {
 		return nil, fmt.Errorf("dist: RunMatrix of nil matrix")
 	}
@@ -112,7 +115,7 @@ func runMatrixSim(cfg Config, a *sparse.CSR, p int, opt pagerank.Options) (*Resu
 	}
 	states := splitMatrix(a, p)
 	c := &comm{p: p}
-	rank, iters, err := iterate(states, a.N, opt, c, cfg.workers())
+	rank, iters, err := iterate(ctx, states, a.N, opt, c, cfg.workers())
 	if err != nil {
 		return nil, err
 	}
@@ -121,9 +124,17 @@ func runMatrixSim(cfg Config, a *sparse.CSR, p int, opt pagerank.Options) (*Resu
 
 // BuildFiltered executes the distributed kernel 2 over p simulated
 // processors and assembles the global filtered matrix from the row blocks.
+//
+// Deprecated: use Execute with OpBuildFiltered.
 func BuildFiltered(l *edge.List, n, p int) (*BuildResult, error) {
+	return BuildFilteredMode(ExecSim, l, n, p)
+}
+
+// buildFilteredSim is the simulated execution of the kernel-2 schedule,
+// assembling the global filtered matrix from the row blocks.
+func buildFilteredSim(ctx context.Context, l *edge.List, n, p int) (*BuildResult, error) {
 	c := &comm{p: p}
-	states, mass, nnz, err := buildFiltered(l, n, p, c)
+	states, mass, nnz, err := buildFiltered(ctx, l, n, p, c)
 	if err != nil {
 		return nil, err
 	}
@@ -194,8 +205,11 @@ func filterBlock(blk *block, din []float64) (dangling []int, nnz int) {
 //
 //	din = sum(A,1); zero columns with din == max(din) or din == 1;
 //	compact; divide each non-empty row by its out-degree.
-func buildFiltered(l *edge.List, n, p int, c *comm) ([]*rankState, float64, int, error) {
+func buildFiltered(ctx context.Context, l *edge.List, n, p int, c *comm) ([]*rankState, float64, int, error) {
 	if err := validateRun(l, n, p); err != nil {
+		return nil, 0, 0, err
+	}
+	if err := ctx.Err(); err != nil {
 		return nil, 0, 0, err
 	}
 
@@ -215,7 +229,12 @@ func buildFiltered(l *edge.List, n, p int, c *comm) ([]*rankState, float64, int,
 		}
 	}
 
-	// Local block builds: each rank holds only its owned rows.
+	// Local block builds: each rank holds only its owned rows.  The
+	// routing pass above and the per-rank builds below are the kernel's
+	// long phases, so each is a cancellation point.
+	if err := ctx.Err(); err != nil {
+		return nil, 0, 0, err
+	}
 	states := make([]*rankState, p)
 	massParts := make([]float64, p)
 	partialDin := make([][]float64, p)
@@ -299,7 +318,7 @@ func danglingMassOf(st *rankState, r []float64) float64 {
 	return s
 }
 
-// iterate is the simulated distributed kernel-3 driver: pagerank.RunCustom
+// iterate is the simulated distributed kernel-3 driver: pagerank.Engine
 // supplies the exact serial update semantics, and the two hooks distribute
 // it — the step hook computes each processor's row-block partial product
 // and all-reduces the partials, and the dangling-mass hook performs a
@@ -308,8 +327,10 @@ func danglingMassOf(st *rankState, r []float64) float64 {
 // driver and one broadcast ships it.  With workers > 1 each simulated
 // rank's local product runs on its own hybrid worker team (spmvOf), which
 // changes wall clock but — by the §7 transpose-once construction — not a
-// single bit of the result.
-func iterate(states []*rankState, n int, opt pagerank.Options, c *comm, workers int) ([]float64, int, error) {
+// single bit of the result.  The engine is driven through RunContext, so
+// a cancelled ctx aborts between iterations; the deferred team closes
+// run on that path too.
+func iterate(ctx context.Context, states []*rankState, n int, opt pagerank.Options, c *comm, workers int) ([]float64, int, error) {
 	partials := make([][]float64, len(states))
 	for i := range partials {
 		partials[i] = make([]float64, n)
@@ -336,7 +357,11 @@ func iterate(states []*rankState, n int, opt pagerank.Options, c *comm, workers 
 		return c.allReduceScalar(dangleParts)
 	}
 	c.broadcastFloats(n) // the initial rank vector
-	res, err := pagerank.RunCustom(n, step, dangleMass, opt)
+	e, err := pagerank.NewEngine(n, step, dangleMass, opt)
+	if err != nil {
+		return nil, 0, err
+	}
+	res, err := e.RunContext(ctx)
 	if err != nil {
 		return nil, 0, err
 	}

@@ -21,6 +21,7 @@ package dist
 // same splitters, the same buckets, the same bytes and the same output.
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -110,15 +111,15 @@ func gatherSamples(c *comm, l *edge.List) []uint64 {
 }
 
 // Sort performs the distributed sample sort of l by start vertex over p
-// simulated processors.  The input is not modified.  SortMode selects the
-// concurrent goroutine execution of the same schedule; SortCfg
-// additionally enables hybrid intra-rank partitioning.
+// simulated processors.  The input is not modified.
+//
+// Deprecated: use Execute with OpSort.
 func Sort(l *edge.List, p int) (*SortResult, error) {
-	return sortSim(Config{}, l, p)
+	return SortCfg(Config{}, l, p)
 }
 
 // sortSim is the simulated execution of Sort's schedule under cfg.
-func sortSim(cfg Config, l *edge.List, p int) (*SortResult, error) {
+func sortSim(ctx context.Context, cfg Config, l *edge.List, p int) (*SortResult, error) {
 	if l == nil {
 		return nil, fmt.Errorf("dist: Sort of nil edge list")
 	}
@@ -130,6 +131,9 @@ func sortSim(cfg Config, l *edge.List, p int) (*SortResult, error) {
 		out := l.Clone()
 		xsort.RadixByU(out)
 		return &SortResult{Sorted: out}, nil
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	c := &comm{p: p}
 
@@ -155,7 +159,12 @@ func sortSim(cfg Config, l *edge.List, p int) (*SortResult, error) {
 		}
 	}
 
-	// Phase 4: local stable sorts, concatenated in rank order.
+	// Phase 4: local stable sorts, concatenated in rank order.  The
+	// exchange above and the bucket sorts below dominate the wall clock,
+	// so the boundary is a cancellation point.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	out := edge.NewList(m)
 	for _, b := range buckets {
 		xsort.RadixByU(b)

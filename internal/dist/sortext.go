@@ -34,6 +34,7 @@ package dist
 // control-plane barrier so no rank strands another inside a collective.
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -153,22 +154,33 @@ func extPartitionRun(fs vfs.FS, name string, splitters []uint64, p int) ([]*edge
 // SortExternal performs the out-of-core distributed sample sort of l by
 // start vertex over p simulated processors, spilling per-rank sorted runs
 // to cfg.FS and merging per-bucket run segments.  The input is not
-// modified.  It is SortExternalMode at ExecSim.
+// modified.
+//
+// Deprecated: use Execute with OpSortExternal.
 func SortExternal(l *edge.List, p int, cfg ExtSortConfig) (*ExtSortResult, error) {
 	return SortExternalMode(ExecSim, l, p, cfg)
 }
 
 // SortExternalMode executes the out-of-core distributed sample sort in
-// the given execution mode.  Validation, configuration defaulting, the
-// empty-input result and the spill metering live here, once, so the two
-// modes cannot drift on the input contract; both produce bit-for-bit
-// identical output and identical CommStats and Spill records.
+// the given execution mode.
+//
+// Deprecated: use Execute with OpSortExternal.
 func SortExternalMode(mode ExecMode, l *edge.List, p int, cfg ExtSortConfig) (*ExtSortResult, error) {
-	switch mode {
-	case ExecSim, ExecGoroutine:
-	default:
-		return nil, fmt.Errorf("dist: unknown execution mode %v", mode)
+	out, err := Execute(context.Background(), Spec{
+		Config: Config{Mode: mode}, Op: OpSortExternal, Edges: l, Procs: p, Ext: cfg,
+	})
+	if err != nil {
+		return nil, err
 	}
+	return out.ExtSort, nil
+}
+
+// executeSortExternal dispatches the out-of-core distributed sample sort.
+// Validation, configuration defaulting, the empty-input result and the
+// spill metering live here, once, so the two modes cannot drift on the
+// input contract; both produce bit-for-bit identical output and identical
+// CommStats and Spill records.
+func executeSortExternal(ctx context.Context, mode ExecMode, l *edge.List, p int, cfg ExtSortConfig) (*ExtSortResult, error) {
 	if l == nil {
 		return nil, fmt.Errorf("dist: SortExternal of nil edge list")
 	}
@@ -184,9 +196,9 @@ func SortExternalMode(mode ExecMode, l *edge.List, p int, cfg ExtSortConfig) (*E
 	var err error
 	switch mode {
 	case ExecSim:
-		res, err = sortExternalSim(l, p, cfg, meter)
+		res, err = sortExternalSim(ctx, l, p, cfg, meter)
 	case ExecGoroutine:
-		res, err = sortExternalGoroutine(l, p, cfg, meter)
+		res, err = sortExternalGoroutine(ctx, l, p, cfg, meter)
 	}
 	if err != nil {
 		return nil, err
@@ -196,8 +208,8 @@ func SortExternalMode(mode ExecMode, l *edge.List, p int, cfg ExtSortConfig) (*E
 }
 
 // sortExternalSim is the simulated execution of the out-of-core sort's
-// schedule; inputs were validated and defaulted by SortExternalMode.
-func sortExternalSim(l *edge.List, p int, cfg ExtSortConfig, fs vfs.FS) (res *ExtSortResult, err error) {
+// schedule; inputs were validated and defaulted by executeSortExternal.
+func sortExternalSim(ctx context.Context, l *edge.List, p int, cfg ExtSortConfig, fs vfs.FS) (res *ExtSortResult, err error) {
 	m := l.Len()
 	c := &comm{p: p}
 
@@ -213,6 +225,9 @@ func sortExternalSim(l *edge.List, p int, cfg ExtSortConfig, fs vfs.FS) (res *Ex
 	}()
 	runsPerRank := make([]int, p)
 	for r := 0; r < p; r++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		lo, hi := blockBounds(m, p, r)
 		ns, spillErr := extSpillRuns(fs, cfg.TmpPrefix, l, r, lo, hi, cfg.RunEdges)
 		names[r] = ns
@@ -234,6 +249,9 @@ func sortExternalSim(l *edge.List, p int, cfg ExtSortConfig, fs vfs.FS) (res *Ex
 	// global input order — the stability invariant.
 	segs := make([][]*edge.List, p)
 	for src := 0; src < p; src++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		for _, name := range names[src] {
 			parts, perr := extPartitionRun(fs, name, splitters, p)
 			if perr != nil {

@@ -10,6 +10,8 @@ package pagerank
 // in this package and in dist supply allocation-free hooks.
 
 import (
+	"context"
+
 	"repro/internal/sparse"
 	"repro/internal/workteam"
 )
@@ -36,6 +38,7 @@ type Engine struct {
 	uniform  float64
 	seed     uint64
 	initial  []float64 // private snapshot of the option's InitialRank, for Reset
+	progress func(iteration int)
 
 	r, next  []float64
 	it       int
@@ -64,6 +67,7 @@ func NewEngine(n int, step func(out, r []float64), dangleMass func(r []float64) 
 		tol:        opt.Tolerance,
 		uniform:    1 / float64(n),
 		seed:       opt.Seed,
+		progress:   opt.Progress,
 		r:          make([]float64, n),
 		next:       make([]float64, n),
 	}
@@ -146,21 +150,41 @@ func (e *Engine) Iterate() float64 {
 		e.lastDiff = diff
 	}
 	e.r, e.next = e.next, e.r
+	if e.progress != nil {
+		e.progress(e.it)
+	}
 	return diff
 }
 
 // Run drives Iterate up to the configured iteration count, stopping early
 // once the tolerance (if any) is met.  The returned Result's Rank aliases
 // the engine's current vector; callers that keep iterating the same
-// engine must copy it first.
+// engine must copy it first.  Run is RunContext under a background
+// context — one stopping rule, written once.
 func (e *Engine) Run() *Result {
+	res, _ := e.RunContext(context.Background()) // a nil Done() can't error
+	return res
+}
+
+// RunContext is Run with a cancellation point before every iteration: a
+// context cancelled mid-run aborts with ctx.Err() instead of finishing
+// the remaining iterations.  A background (never-cancelled) context makes
+// it exactly Run — the check costs one nil comparison per iteration — so
+// results are bit-for-bit identical between the two forms.
+func (e *Engine) RunContext(ctx context.Context) (*Result, error) {
+	done := ctx.Done()
 	for e.it < e.iters {
+		if done != nil {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		diff := e.Iterate()
 		if e.tol > 0 && diff < e.tol {
 			break
 		}
 	}
-	return &Result{Rank: e.r, Iterations: e.it, FinalDiff: e.lastDiff}
+	return &Result{Rank: e.r, Iterations: e.it, FinalDiff: e.lastDiff}, nil
 }
 
 // newMaskedEngine builds an engine whose dangling mass is a scan of the
@@ -267,6 +291,13 @@ func (pe *ParallelEngine) Engine() *Engine { return pe.eng }
 
 // Run drives the engine to completion, like Parallel.
 func (pe *ParallelEngine) Run() *Result { return pe.eng.Run() }
+
+// RunContext drives the engine to completion with a per-iteration
+// cancellation point, like Engine.RunContext.  The worker team survives
+// an abort; Close still owns its teardown.
+func (pe *ParallelEngine) RunContext(ctx context.Context) (*Result, error) {
+	return pe.eng.RunContext(ctx)
+}
 
 // Close terminates the worker team.  The engine must not be iterated
 // afterwards.

@@ -86,6 +86,12 @@ type Options struct {
 	// instead of InitVector(N, Seed) — the restart path for checkpointed
 	// runs.  It must have length N; it is copied, not aliased.
 	InitialRank []float64
+	// Progress, when non-nil, is called after every completed iteration
+	// with the 1-based iteration count — the streaming-observation hook
+	// the service layer's RunStream is built on.  The callback runs on
+	// the iterating goroutine; it must be fast and must not call back
+	// into the engine.  A nil Progress costs nothing.
+	Progress func(iteration int)
 }
 
 // policy resolves the effective dangling policy.
@@ -276,6 +282,18 @@ func workersOr(w int) int {
 
 // GraphBLAS runs PageRank expressed over the generic (+, ×) semiring.
 func GraphBLAS(m *graphblas.Matrix[float64], opt Options) (*Result, error) {
+	e, err := NewGraphBLASEngine(m, opt)
+	if err != nil {
+		return nil, err
+	}
+	return e.Run(), nil
+}
+
+// NewGraphBLASEngine builds a reusable engine over the generic (+, ×)
+// semiring product — the engine behind GraphBLAS, exported so callers
+// needing iteration-level control (or RunContext cancellation) get it for
+// the generic representation too.
+func NewGraphBLASEngine(m *graphblas.Matrix[float64], opt Options) (*Engine, error) {
 	n := m.Dim()
 	dangling := make([]bool, n)
 	for i, s := range m.ReduceRows(graphblas.PlusFloat64) {
@@ -287,7 +305,7 @@ func GraphBLAS(m *graphblas.Matrix[float64], opt Options) (*Result, error) {
 			panic(err)
 		}
 	}
-	return run(n, step, dangling, opt)
+	return newMaskedEngine(n, step, dangling, opt)
 }
 
 // ---------------------------------------------------------------------------

@@ -1,6 +1,7 @@
 package pipeline
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
@@ -98,6 +99,20 @@ type Config struct {
 	// MeterIO wraps the storage in a byte-counting layer and records each
 	// kernel's read/write volume in its KernelResult.
 	MeterIO bool
+	// Source, when non-nil, replaces the kernel-0 generator invocation:
+	// variants obtain the edge list from it instead of generating.  It
+	// reports whether the list came from a cache (metered in the
+	// Result's GenCache) and MUST return a list the caller treats as
+	// read-only — kernel 0 only writes it to storage, never mutates it,
+	// which is what lets the service layer share one list across
+	// concurrent runs.  The hook sees the defaulted Config.
+	Source func(Config) (*edge.List, bool, error)
+	// Progress, when non-nil, receives execution events: kernel start
+	// and end, and one event per kernel-3 iteration.  Callbacks run
+	// synchronously on the executing goroutine (rank 0's, for the dist
+	// variants) and must be fast; the service layer's RunStream is built
+	// on this hook.
+	Progress func(Event)
 }
 
 func (c Config) withDefaults() Config {
@@ -148,6 +163,57 @@ func (c Config) N() uint64 { return 1 << uint(c.Scale) }
 // M returns the edge count EdgeFactor·2^Scale.
 func (c Config) M() uint64 { return uint64(c.withDefaults().EdgeFactor) << uint(c.Scale) }
 
+// EventKind classifies a Progress event.
+type EventKind int
+
+const (
+	// EventKernelStart fires immediately before a kernel executes.
+	EventKernelStart EventKind = iota
+	// EventKernelEnd fires after a kernel completes, carrying its
+	// KernelResult.
+	EventKernelEnd
+	// EventIteration fires after each completed kernel-3 PageRank
+	// iteration, carrying the 1-based iteration count.
+	EventIteration
+)
+
+// String implements fmt.Stringer.
+func (k EventKind) String() string {
+	switch k {
+	case EventKernelStart:
+		return "kernel-start"
+	case EventKernelEnd:
+		return "kernel-end"
+	case EventIteration:
+		return "iteration"
+	default:
+		return fmt.Sprintf("event?(%d)", int(k))
+	}
+}
+
+// Event is one Progress observation of a running pipeline.
+type Event struct {
+	// Kind classifies the event.
+	Kind EventKind
+	// Kernel is the stage the event belongs to.
+	Kernel Kernel
+	// Iteration is the 1-based kernel-3 iteration (EventIteration only).
+	Iteration int
+	// KernelResult is the completed stage's record (EventKernelEnd only).
+	KernelResult *KernelResult
+}
+
+// GenCacheStats records a run's interaction with an external generator
+// cache (Config.Source): how many kernel-0 edge lists were served from
+// cache versus generated.  A single full-pipeline run scores exactly one
+// hit or one miss.
+type GenCacheStats struct {
+	// Hits counts edge lists served from the cache.
+	Hits uint64
+	// Misses counts edge lists that had to be generated.
+	Misses uint64
+}
+
 // KernelResult is the timing record for one kernel.
 type KernelResult struct {
 	// Kernel identifies the stage.
@@ -184,6 +250,9 @@ type Result struct {
 	// Comm is the total communication record of the run's distributed
 	// collectives (dist variants only; nil otherwise).
 	Comm *dist.CommStats
+	// GenCache is the run's generator-cache record (runs with a
+	// Config.Source only; nil when kernel 0 generated directly).
+	GenCache *GenCacheStats
 }
 
 // KernelResultFor returns the result for kernel k, or nil.
@@ -216,6 +285,23 @@ type Run struct {
 	// Comm accumulates the distributed collectives' communication record
 	// across kernels (dist variants call AddComm; nil for serial variants).
 	Comm *dist.CommStats
+	// GenCache records the generator-cache interaction when Cfg.Source
+	// is set (filled by sourceEdges).
+	GenCache *GenCacheStats
+	// ctx is the run's cancellation context; nil means background.
+	// Variants read it through Context().
+	ctx context.Context
+}
+
+// Context returns the run's cancellation context.  Variants thread it
+// into the distributed runtime and the kernel-3 engines; a Run built
+// without one (the legacy composition path, e.g. the checkpoint example)
+// gets context.Background.
+func (r *Run) Context() context.Context {
+	if r.ctx == nil {
+		return context.Background()
+	}
+	return r.ctx
 }
 
 // AddComm folds a kernel's communication record into the run's total.
@@ -283,7 +369,12 @@ func VariantNames() []string {
 // Execute runs the full four-kernel pipeline under cfg and returns timing
 // results for every kernel.
 func Execute(cfg Config) (*Result, error) {
-	return ExecuteKernels(cfg, []Kernel{K0Generate, K1Sort, K2Filter, K3PageRank})
+	return ExecuteContext(context.Background(), cfg)
+}
+
+// ExecuteContext runs the full four-kernel pipeline under cfg and ctx.
+func ExecuteContext(ctx context.Context, cfg Config) (*Result, error) {
+	return ExecuteKernelsContext(ctx, cfg, []Kernel{K0Generate, K1Sort, K2Filter, K3PageRank})
 }
 
 // ExecuteKernels runs the listed kernels in order.  Kernels may be run
@@ -291,6 +382,16 @@ func Execute(cfg Config) (*Result, error) {
 // artifacts: running K2 without K1 in the same FS fails with a missing-file
 // error.
 func ExecuteKernels(cfg Config, kernels []Kernel) (*Result, error) {
+	return ExecuteKernelsContext(context.Background(), cfg, kernels)
+}
+
+// ExecuteKernelsContext runs the listed kernels in order under ctx:
+// cancellation aborts before the next kernel starts, and mid-kernel at
+// the kernels' own cancellation points — the K3 engines check between
+// iterations and the distributed runtime between its phases — returning
+// ctx's error.  A background context changes nothing: results are
+// bit-for-bit those of ExecuteKernels.
+func ExecuteKernelsContext(ctx context.Context, cfg Config, kernels []Kernel) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -301,10 +402,34 @@ func ExecuteKernels(cfg Config, kernels []Kernel) (*Result, error) {
 		meter = vfs.NewMetered(cfg.FS)
 		cfg.FS = meter
 	}
-	run := &Run{Cfg: cfg, FS: cfg.FS}
-	res := &Result{Config: cfg}
+	run := &Run{Cfg: cfg, FS: cfg.FS, ctx: ctx}
+	if cfg.Progress != nil {
+		// The kernel-3 engines' per-iteration hook feeds the same
+		// Progress stream as the kernel events below, composed with —
+		// not replacing — any per-iteration hook the caller already put
+		// in PageRank.Progress.  Only run.Cfg is amended; the caller's
+		// options value is untouched.
+		inner := cfg.PageRank.Progress
+		run.Cfg.PageRank.Progress = func(it int) {
+			if inner != nil {
+				inner(it)
+			}
+			cfg.Progress(Event{Kind: EventIteration, Kernel: K3PageRank, Iteration: it})
+		}
+	}
+	// The Result echoes the defaulted configuration minus the run's
+	// closures: Source and Progress are plumbing inputs that capture the
+	// caller's context and cache — retaining them in every Result would
+	// keep those alive for the Result's lifetime.
+	resCfg := cfg
+	resCfg.Source = nil
+	resCfg.Progress = nil
+	res := &Result{Config: resCfg}
 	m := cfg.M()
 	for _, k := range kernels {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		var fn func(*Run) error
 		edges := m
 		switch k {
@@ -324,10 +449,19 @@ func ExecuteKernels(cfg Config, kernels []Kernel) (*Result, error) {
 		default:
 			return nil, fmt.Errorf("pipeline: unknown kernel %v", k)
 		}
+		if cfg.Progress != nil {
+			cfg.Progress(Event{Kind: EventKernelStart, Kernel: k})
+		}
 		var memBefore runtime.MemStats
 		runtime.ReadMemStats(&memBefore)
 		start := time.Now()
 		if err := fn(run); err != nil {
+			if cerr := ctx.Err(); cerr != nil {
+				// Cancellation surfaces undecorated so callers can match
+				// errors.Is(err, context.Canceled) without unwrapping the
+				// kernel framing.
+				return nil, cerr
+			}
 			return nil, fmt.Errorf("pipeline: %v (%s): %w", k, cfg.Variant, err)
 		}
 		secs := time.Since(start).Seconds()
@@ -342,6 +476,9 @@ func ExecuteKernels(cfg Config, kernels []Kernel) (*Result, error) {
 			kr.IO = &io
 		}
 		res.Kernels = append(res.Kernels, kr)
+		if cfg.Progress != nil {
+			cfg.Progress(Event{Kind: EventKernelEnd, Kernel: k, KernelResult: &kr})
+		}
 	}
 	if run.Matrix != nil {
 		res.NNZ = run.Matrix.NNZ()
@@ -354,7 +491,49 @@ func ExecuteKernels(cfg Config, kernels []Kernel) (*Result, error) {
 		}
 	}
 	res.Comm = run.Comm
+	res.GenCache = run.GenCache
 	return res, nil
+}
+
+// sourceEdges obtains kernel 0's edge list: from Cfg.Source when set —
+// metering the hit/miss in the run's GenCache record — else by invoking
+// the configured generator.  Every variant's Kernel0 routes through it,
+// which is the single seam the service layer's shared generator cache
+// plugs into.  A sourced list is shared and read-only; callers only
+// write it to storage.
+func sourceEdges(r *Run) (*edge.List, error) {
+	if r.Cfg.Source != nil {
+		l, hit, err := r.Cfg.Source(r.Cfg)
+		if err != nil {
+			return nil, err
+		}
+		if r.GenCache == nil {
+			r.GenCache = &GenCacheStats{}
+		}
+		if hit {
+			r.GenCache.Hits++
+		} else {
+			r.GenCache.Misses++
+		}
+		return l, nil
+	}
+	gen, err := generate(r.Cfg)
+	if err != nil {
+		return nil, err
+	}
+	return gen.Generate()
+}
+
+// GenerateEdges invokes cfg's kernel-0 generator and returns the edge
+// list without touching storage — the pure generation step the service
+// layer's shared cache wraps.  Only Generator, Scale, EdgeFactor and Seed
+// matter; the output is deterministic in them.
+func GenerateEdges(cfg Config) (*edge.List, error) {
+	gen, err := generate(cfg.withDefaults())
+	if err != nil {
+		return nil, err
+	}
+	return gen.Generate()
 }
 
 // generate dispatches to the configured K0 generator, shared by variants.

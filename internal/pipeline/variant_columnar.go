@@ -30,11 +30,7 @@ func (columnarVariant) Description() string {
 
 // Kernel0 implements Variant.
 func (columnarVariant) Kernel0(r *Run) error {
-	gen, err := generate(r.Cfg)
-	if err != nil {
-		return err
-	}
-	l, err := gen.Generate()
+	l, err := sourceEdges(r)
 	if err != nil {
 		return err
 	}
@@ -113,7 +109,11 @@ func (columnarVariant) Kernel2(r *Run) error {
 
 // Kernel3 implements Variant.
 func (columnarVariant) Kernel3(r *Run) error {
-	res, err := pagerank.Scatter(r.Matrix, r.Cfg.PageRank)
+	eng, err := pagerank.NewScatterEngine(r.Matrix, r.Cfg.PageRank)
+	if err != nil {
+		return err
+	}
+	res, err := eng.RunContext(r.Context())
 	if err != nil {
 		return err
 	}

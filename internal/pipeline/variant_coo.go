@@ -27,11 +27,7 @@ func (cooVariant) Description() string {
 
 // Kernel0 implements Variant.
 func (cooVariant) Kernel0(r *Run) error {
-	gen, err := generate(r.Cfg)
-	if err != nil {
-		return err
-	}
-	l, err := gen.Generate()
+	l, err := sourceEdges(r)
 	if err != nil {
 		return err
 	}
@@ -83,7 +79,11 @@ func (cooVariant) Kernel2(r *Run) error {
 
 // Kernel3 implements Variant.
 func (cooVariant) Kernel3(r *Run) error {
-	res, err := pagerank.Scatter(r.Matrix, r.Cfg.PageRank)
+	eng, err := pagerank.NewScatterEngine(r.Matrix, r.Cfg.PageRank)
+	if err != nil {
+		return err
+	}
+	res, err := eng.RunContext(r.Context())
 	if err != nil {
 		return err
 	}

@@ -26,11 +26,7 @@ func (csrVariant) Description() string {
 
 // Kernel0 implements Variant.
 func (csrVariant) Kernel0(r *Run) error {
-	gen, err := generate(r.Cfg)
-	if err != nil {
-		return err
-	}
-	l, err := gen.Generate()
+	l, err := sourceEdges(r)
 	if err != nil {
 		return err
 	}
@@ -69,7 +65,11 @@ func (csrVariant) Kernel2(r *Run) error {
 
 // Kernel3 implements Variant.
 func (csrVariant) Kernel3(r *Run) error {
-	res, err := pagerank.Gather(r.Matrix, r.Cfg.PageRank)
+	eng, err := pagerank.NewGatherEngine(r.Matrix, r.Cfg.PageRank)
+	if err != nil {
+		return err
+	}
+	res, err := eng.RunContext(r.Context())
 	if err != nil {
 		return err
 	}

@@ -76,11 +76,7 @@ func (v distVariant) distCfg(r *Run) dist.Config {
 
 // Kernel0 implements Variant.
 func (distVariant) Kernel0(r *Run) error {
-	gen, err := generate(r.Cfg)
-	if err != nil {
-		return err
-	}
-	l, err := gen.Generate()
+	l, err := sourceEdges(r)
 	if err != nil {
 		return err
 	}
@@ -99,12 +95,14 @@ func (v distVariant) Kernel1(r *Run) error {
 		// variant does.
 		xsort.RadixByUV(l)
 	} else {
-		res, err := dist.SortCfg(v.distCfg(r), l, v.procs(r))
+		out, err := dist.Execute(r.Context(), dist.Spec{
+			Config: v.distCfg(r), Op: dist.OpSort, Edges: l, Procs: v.procs(r),
+		})
 		if err != nil {
 			return err
 		}
-		r.AddComm(res.Comm)
-		l = res.Sorted
+		r.AddComm(out.Sort.Comm)
+		l = out.Sort.Sorted
 	}
 	return fastio.WriteStriped(r.FS, "k1", fastio.TSV{}, r.Cfg.NFiles, l)
 }
@@ -115,10 +113,14 @@ func (v distVariant) Kernel2(r *Run) error {
 	if err != nil {
 		return err
 	}
-	b, err := dist.BuildFilteredMode(v.execMode(r), l, int(r.Cfg.N()), v.procs(r))
+	out, err := dist.Execute(r.Context(), dist.Spec{
+		Config: dist.Config{Mode: v.execMode(r)}, Op: dist.OpBuildFiltered,
+		Edges: l, N: int(r.Cfg.N()), Procs: v.procs(r),
+	})
 	if err != nil {
 		return err
 	}
+	b := out.Build
 	r.AddComm(b.Comm)
 	r.MatrixMass = b.Mass
 	r.Matrix = b.Matrix
@@ -127,10 +129,14 @@ func (v distVariant) Kernel2(r *Run) error {
 
 // Kernel3 implements Variant.
 func (v distVariant) Kernel3(r *Run) error {
-	res, err := dist.RunMatrixCfg(v.distCfg(r), r.Matrix, v.procs(r), r.Cfg.PageRank)
+	out, err := dist.Execute(r.Context(), dist.Spec{
+		Config: v.distCfg(r), Op: dist.OpRunMatrix,
+		Matrix: r.Matrix, Procs: v.procs(r), PageRank: r.Cfg.PageRank,
+	})
 	if err != nil {
 		return err
 	}
+	res := out.Run
 	r.AddComm(res.Comm)
 	r.Rank = &pagerank.Result{Rank: res.Rank, Iterations: res.Iterations}
 	return nil

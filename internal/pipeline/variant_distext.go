@@ -61,14 +61,18 @@ func (v distextVariant) Kernel1(r *Run) error {
 	if err != nil {
 		return err
 	}
-	res, err := dist.SortExternalMode(v.execMode(r), l, v.procs(r), dist.ExtSortConfig{
-		FS:        r.FS,
-		RunEdges:  r.Cfg.RunEdges,
-		TmpPrefix: "tmp/distsort",
+	out, err := dist.Execute(r.Context(), dist.Spec{
+		Config: dist.Config{Mode: v.execMode(r)}, Op: dist.OpSortExternal,
+		Edges: l, Procs: v.procs(r),
+		Ext: dist.ExtSortConfig{
+			FS:        r.FS,
+			RunEdges:  r.Cfg.RunEdges,
+			TmpPrefix: "tmp/distsort",
+		},
 	})
 	if err != nil {
 		return err
 	}
-	r.AddComm(res.Comm)
-	return fastio.WriteStriped(r.FS, "k1", fastio.TSV{}, r.Cfg.NFiles, res.Sorted)
+	r.AddComm(out.ExtSort.Comm)
+	return fastio.WriteStriped(r.FS, "k1", fastio.TSV{}, r.Cfg.NFiles, out.ExtSort.Sorted)
 }

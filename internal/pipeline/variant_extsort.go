@@ -50,14 +50,18 @@ func (extsortVariant) runEdges(r *Run) int {
 	return int(quarter)
 }
 
-// Kernel0 implements Variant.
+// Kernel0 implements Variant.  This kernel does NOT consume Cfg.Source:
+// the variant exists for graphs whose edge vectors exceed RAM, so its
+// Kronecker path streams edges straight to the sink in bounded memory —
+// drawing from the service's cache would materialize (and then pin) the
+// full edge list, silently un-out-of-coring the out-of-core variant.
 func (extsortVariant) Kernel0(r *Run) error {
 	sink, err := fastio.NewStripedSink(r.FS, "k0", fastio.TSV{}, r.Cfg.NFiles, int64(r.Cfg.M()))
 	if err != nil {
 		return err
 	}
-	switch r.Cfg.Generator {
-	case GenKronecker:
+	switch {
+	case r.Cfg.Generator == GenKronecker:
 		kcfg := kronecker.New(r.Cfg.Scale, r.Cfg.Seed)
 		kcfg.EdgeFactor = r.Cfg.EdgeFactor
 		if err := kronecker.GenerateTo(kcfg, sink); err != nil {
@@ -148,7 +152,11 @@ func (extsortVariant) Kernel2(r *Run) error {
 
 // Kernel3 implements Variant.
 func (extsortVariant) Kernel3(r *Run) error {
-	res, err := pagerank.Gather(r.Matrix, r.Cfg.PageRank)
+	eng, err := pagerank.NewGatherEngine(r.Matrix, r.Cfg.PageRank)
+	if err != nil {
+		return err
+	}
+	res, err := eng.RunContext(r.Context())
 	if err != nil {
 		return err
 	}

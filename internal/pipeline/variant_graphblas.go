@@ -30,11 +30,7 @@ func (graphblasVariant) Description() string {
 
 // Kernel0 implements Variant.
 func (graphblasVariant) Kernel0(r *Run) error {
-	gen, err := generate(r.Cfg)
-	if err != nil {
-		return err
-	}
-	l, err := gen.Generate()
+	l, err := sourceEdges(r)
 	if err != nil {
 		return err
 	}
@@ -112,7 +108,11 @@ func (graphblasVariant) Kernel3(r *Run) error {
 		}
 		r.GB = gb
 	}
-	res, err := pagerank.GraphBLAS(r.GB, r.Cfg.PageRank)
+	eng, err := pagerank.NewGraphBLASEngine(r.GB, r.Cfg.PageRank)
+	if err != nil {
+		return err
+	}
+	res, err := eng.RunContext(r.Context())
 	if err != nil {
 		return err
 	}

@@ -44,6 +44,10 @@ func (parallelVariant) workers(r *Run) int {
 // Kernel0 implements Variant.  For the Kronecker generator, workers draw
 // from independent jump-derived streams without communication, exactly the
 // scalability property the paper highlights in the Graph500 generator.
+// Because those streams produce a (deliberately) different edge order
+// than the serial generator, this kernel does NOT consume Cfg.Source:
+// the service's shared cache holds the serial generation, and serving it
+// here would silently change this variant's documented output.
 func (v parallelVariant) Kernel0(r *Run) error {
 	var l *edge.List
 	var err error
@@ -101,7 +105,12 @@ func (parallelVariant) Kernel2(r *Run) error {
 func (v parallelVariant) Kernel3(r *Run) error {
 	opt := r.Cfg.PageRank
 	opt.Workers = v.workers(r)
-	res, err := pagerank.Parallel(r.Matrix, opt)
+	pe, err := pagerank.NewParallelEngine(r.Matrix, opt)
+	if err != nil {
+		return err
+	}
+	defer pe.Close()
+	res, err := pe.RunContext(r.Context())
 	if err != nil {
 		return err
 	}

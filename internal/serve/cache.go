@@ -1,0 +1,106 @@
+package serve
+
+import (
+	"container/list"
+	"context"
+	"sync"
+
+	"repro/internal/edge"
+)
+
+// genCache is the service's shared generator cache: a singleflight map
+// from graph identity to generated edge list with LRU eviction.  The
+// contract that makes sharing safe is read-only edge lists — kernel 0
+// only writes a sourced list to storage (pipeline.Config.Source), and
+// dist.Execute never mutates its input — so one generation can feed any
+// number of concurrent runs.
+//
+// Singleflight: the first caller of a key becomes the generator (a
+// miss); every caller that arrives while generation is in flight joins
+// the same entry and blocks on its ready channel (a hit — the work was
+// shared, not repeated).  Errors are delivered to all joined waiters and
+// never cached.
+type genCache struct {
+	mu      sync.Mutex
+	cap     int
+	entries map[GraphKey]*genEntry
+	order   *list.List // LRU: front = most recently used; ready entries only
+	hits    uint64
+	misses  uint64
+}
+
+type genEntry struct {
+	key   GraphKey
+	ready chan struct{} // closed when list/err are final
+	list  *edge.List
+	err   error
+	elem  *list.Element // nil until the entry is ready and resident
+}
+
+func newGenCache(capacity int) *genCache {
+	return &genCache{
+		cap:     capacity,
+		entries: make(map[GraphKey]*genEntry),
+		order:   list.New(),
+	}
+}
+
+// get returns the edge list for key, generating it with gen on a miss.
+// The second result reports whether the list came from the cache (either
+// resident or joined in flight).  Waiting on an in-flight generation
+// respects ctx; the generation itself runs to completion on the missing
+// caller's goroutine regardless, so late joiners can still be served.
+// A hit is counted only when a list is actually served: a cancelled wait
+// or a joined generation that failed moves no counter, so the metered
+// hits are exactly the generations the cache saved.
+func (c *genCache) get(ctx context.Context, key GraphKey, gen func() (*edge.List, error)) (*edge.List, bool, error) {
+	c.mu.Lock()
+	if e, ok := c.entries[key]; ok {
+		if e.elem != nil {
+			c.order.MoveToFront(e.elem)
+		}
+		c.mu.Unlock()
+		select {
+		case <-e.ready:
+			if e.err != nil {
+				return nil, false, e.err
+			}
+			c.mu.Lock()
+			c.hits++
+			c.mu.Unlock()
+			return e.list, true, nil
+		case <-ctx.Done():
+			return nil, false, ctx.Err()
+		}
+	}
+	c.misses++
+	e := &genEntry{key: key, ready: make(chan struct{})}
+	c.entries[key] = e
+	c.mu.Unlock()
+
+	e.list, e.err = gen()
+	close(e.ready)
+
+	c.mu.Lock()
+	if e.err != nil {
+		// Failures are delivered, not cached: the next caller retries.
+		delete(c.entries, key)
+	} else {
+		e.elem = c.order.PushFront(e)
+		for c.order.Len() > c.cap {
+			oldest := c.order.Back()
+			c.order.Remove(oldest)
+			delete(c.entries, oldest.Value.(*genEntry).key)
+		}
+	}
+	c.mu.Unlock()
+	return e.list, false, e.err
+}
+
+// stats returns the cumulative hit/miss counters and the resident entry
+// count.
+func (c *genCache) stats() (hits, misses uint64, entries int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, c.order.Len()
+}

@@ -1,0 +1,279 @@
+// Package serve is the pipeline's service layer: a long-lived Service
+// that runs many benchmark pipelines concurrently under one roof — a
+// bounded run-admission queue, a shared singleflight generator cache
+// keyed by graph identity, context cancellation end to end, and a
+// streaming progress API.  It is the batch/streaming ingestion path of
+// the roadmap's production-scale goal: where the one-shot entrypoints
+// regenerate the Kronecker graph for every run, a Service generates each
+// distinct (generator, scale, edgeFactor, seed) graph exactly once and
+// shares the read-only edge list across every run that needs it.
+//
+// core.NewService is the public constructor; DESIGN.md §8 specifies the
+// lifecycle and the cache contract.
+package serve
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/edge"
+	"repro/internal/pipeline"
+)
+
+// GraphKey is the identity of a generated graph — the generator cache's
+// key.  Two runs whose configurations agree on these four fields draw
+// from the same kernel-0 edge list.
+type GraphKey struct {
+	// Generator is the kernel-0 generator kind (empty means Kronecker).
+	Generator pipeline.GeneratorKind
+	// Scale is the Graph500 scale factor S.
+	Scale int
+	// EdgeFactor is the average edges per vertex (0 means 16).
+	EdgeFactor int
+	// Seed selects all random streams.
+	Seed uint64
+}
+
+// normalize applies the pipeline's defaulting so spellings of the same
+// graph ("" vs GenKronecker, 0 vs 16) share one cache entry.
+func (k GraphKey) normalize() GraphKey {
+	if k.Generator == "" {
+		k.Generator = pipeline.GenKronecker
+	}
+	if k.EdgeFactor == 0 {
+		k.EdgeFactor = 16
+	}
+	return k
+}
+
+// keyOf derives the cache key from a defaulted pipeline configuration.
+func keyOf(cfg pipeline.Config) GraphKey {
+	return GraphKey{
+		Generator:  cfg.Generator,
+		Scale:      cfg.Scale,
+		EdgeFactor: cfg.EdgeFactor,
+		Seed:       cfg.Seed,
+	}.normalize()
+}
+
+// Service is the long-lived run coordinator.  Construct it once with
+// New, share it between goroutines freely — all methods are safe for
+// concurrent use — and Close it when done accepting work.
+type Service struct {
+	sem    chan struct{} // admission: one slot per concurrently executing run
+	cache  *genCache     // nil when caching is disabled
+	closed chan struct{} // closed by Close; admit selects on it, so queued callers unblock
+
+	closeOnce sync.Once
+	mu        sync.Mutex
+	started   uint64
+	active    int
+}
+
+// Option configures a Service at construction.
+type Option func(*Service)
+
+// WithMaxConcurrent bounds the number of runs executing at once; callers
+// beyond the bound queue inside Run until a slot frees (or their context
+// is cancelled).  Values below 1 mean 1.  The default is GOMAXPROCS.
+func WithMaxConcurrent(n int) Option {
+	if n < 1 {
+		n = 1
+	}
+	return func(s *Service) { s.sem = make(chan struct{}, n) }
+}
+
+// WithCacheCapacity bounds the generator cache to n resident edge lists
+// (LRU-evicted beyond that); 0 disables the cache entirely, making every
+// run generate its own kernel-0 graph.  The default is 8.
+func WithCacheCapacity(n int) Option {
+	return func(s *Service) {
+		if n <= 0 {
+			s.cache = nil
+		} else {
+			s.cache = newGenCache(n)
+		}
+	}
+}
+
+// New constructs a Service.  The zero-option Service admits GOMAXPROCS
+// concurrent runs and caches up to 8 generated graphs.
+func New(opts ...Option) *Service {
+	s := &Service{
+		sem:    make(chan struct{}, runtime.GOMAXPROCS(0)),
+		cache:  newGenCache(8),
+		closed: make(chan struct{}),
+	}
+	for _, o := range opts {
+		o(s)
+	}
+	return s
+}
+
+// Close stops admitting new runs: callers queued in admission unblock
+// with an error, and later Runs are rejected.  Runs already admitted
+// complete normally; closing is idempotent.
+func (s *Service) Close() error {
+	s.closeOnce.Do(func() { close(s.closed) })
+	return nil
+}
+
+// isClosed reports whether Close has been called.
+func (s *Service) isClosed() bool {
+	select {
+	case <-s.closed:
+		return true
+	default:
+		return false
+	}
+}
+
+// Stats is a point-in-time snapshot of the service's counters.
+type Stats struct {
+	// RunsStarted counts runs admitted since construction.
+	RunsStarted uint64
+	// RunsActive is the number of runs executing right now.
+	RunsActive int
+	// CacheHits and CacheMisses are the generator cache's cumulative
+	// counters: a miss generated a graph, a hit shared one (resident or
+	// joined in flight).  Both stay zero with the cache disabled.
+	CacheHits   uint64
+	CacheMisses uint64
+	// CacheEntries is the number of edge lists currently resident.
+	CacheEntries int
+}
+
+// Stats returns a snapshot of the service's counters.
+func (s *Service) Stats() Stats {
+	var st Stats
+	if s.cache != nil {
+		st.CacheHits, st.CacheMisses, st.CacheEntries = s.cache.stats()
+	}
+	s.mu.Lock()
+	st.RunsStarted = s.started
+	st.RunsActive = s.active
+	s.mu.Unlock()
+	return st
+}
+
+// Edges returns the generated edge list for key, serving it from the
+// shared cache (generating at most once per key, however many callers
+// arrive concurrently).  The returned list is shared and MUST be treated
+// as read-only; every dist.Execute op and every kernel honors that.
+func (s *Service) Edges(ctx context.Context, key GraphKey) (*edge.List, error) {
+	key = key.normalize()
+	cfg := pipeline.Config{
+		Generator:  key.Generator,
+		Scale:      key.Scale,
+		EdgeFactor: key.EdgeFactor,
+		Seed:       key.Seed,
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if s.cache == nil {
+		return pipeline.GenerateEdges(cfg)
+	}
+	l, _, err := s.cache.get(ctx, key, func() (*edge.List, error) {
+		return pipeline.GenerateEdges(cfg)
+	})
+	return l, err
+}
+
+// runSettings collects the per-run options.
+type runSettings struct {
+	kernels   []pipeline.Kernel
+	progress  func(pipeline.Event)
+	onStarted func() // fires after admission, before the first kernel (RunStream)
+}
+
+// withStarted is RunStream's internal hook for the moment a queued run
+// clears admission.
+func withStarted(fn func()) RunOption {
+	return func(rs *runSettings) { rs.onStarted = fn }
+}
+
+// RunOption configures one Run (or RunStream) call.
+type RunOption func(*runSettings)
+
+// WithKernels restricts the run to the listed kernels, in order, like
+// the paper's independently runnable stages.  The default is all four.
+func WithKernels(ks ...pipeline.Kernel) RunOption {
+	return func(rs *runSettings) { rs.kernels = ks }
+}
+
+// WithProgress attaches a synchronous observer for the run's pipeline
+// events (kernel start/end, kernel-3 iterations).  RunStream is the
+// channel-shaped form of the same hook.
+func WithProgress(fn func(pipeline.Event)) RunOption {
+	return func(rs *runSettings) { rs.progress = fn }
+}
+
+// Run executes one pipeline under the service: the call is admitted
+// through the bounded run queue (waiting respects ctx), kernel 0 draws
+// from the shared generator cache, and ctx cancellation aborts the run
+// mid-kernel — through the kernel-3 engines' per-iteration checks and
+// the distributed runtime's teardown plane — with ctx's error.  The
+// Result's GenCache field records whether this run's graph came from the
+// cache.  Results are bit-for-bit those of the one-shot core.Run for the
+// same Config: caching changes who generates, never what is generated.
+func (s *Service) Run(ctx context.Context, cfg pipeline.Config, opts ...RunOption) (*pipeline.Result, error) {
+	rs := runSettings{kernels: []pipeline.Kernel{
+		pipeline.K0Generate, pipeline.K1Sort, pipeline.K2Filter, pipeline.K3PageRank,
+	}}
+	for _, o := range opts {
+		o(&rs)
+	}
+	if err := s.admit(ctx); err != nil {
+		return nil, err
+	}
+	defer s.release()
+	if rs.onStarted != nil {
+		rs.onStarted()
+	}
+	if s.cache != nil && cfg.Source == nil {
+		cfg.Source = func(dcfg pipeline.Config) (*edge.List, bool, error) {
+			return s.cache.get(ctx, keyOf(dcfg), func() (*edge.List, error) {
+				return pipeline.GenerateEdges(dcfg)
+			})
+		}
+	}
+	if rs.progress != nil {
+		cfg.Progress = rs.progress
+	}
+	return pipeline.ExecuteKernelsContext(ctx, cfg, rs.kernels)
+}
+
+// admit takes an admission slot, queueing until one frees, the context
+// is cancelled, or the service is closed (which also unblocks queued
+// callers).  The post-acquire re-check hands back a slot won in a race
+// with Close; rejection is best-effort by nature — a Run whose re-check
+// ran just before Close completed counts as already admitted and
+// completes normally, per Close's contract.
+func (s *Service) admit(ctx context.Context) error {
+	select {
+	case s.sem <- struct{}{}:
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-s.closed:
+		return fmt.Errorf("serve: service is closed")
+	}
+	if s.isClosed() {
+		<-s.sem
+		return fmt.Errorf("serve: service is closed")
+	}
+	s.mu.Lock()
+	s.started++
+	s.active++
+	s.mu.Unlock()
+	return nil
+}
+
+func (s *Service) release() {
+	s.mu.Lock()
+	s.active--
+	s.mu.Unlock()
+	<-s.sem
+}
