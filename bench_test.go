@@ -298,6 +298,30 @@ func BenchmarkAblationTextVsBinaryCodec(b *testing.B) {
 	}
 }
 
+// Edge-file format ablation on the out-of-core sort: kernel 1 of the
+// extsort variant timed under each codec, the Figure-7-style table
+// showing the sort going hardware-bound once text parsing leaves the
+// loop (and the packed codec trading a little decode work for a third
+// of the bytes).
+func BenchmarkAblationEdgeFormats(b *testing.B) {
+	const scale = 14
+	for _, format := range []string{"tsv", "bin", "packed"} {
+		b.Run(format, func(b *testing.B) {
+			cfg := benchCfg("extsort", scale)
+			cfg.Format = format
+			cfg.RunEdges = 1 << 16
+			cfg = prepare(b, cfg, []pipeline.Kernel{pipeline.K0Generate})
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := pipeline.ExecuteKernels(cfg, []pipeline.Kernel{pipeline.K1Sort}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			reportEdges(b, cfg.M())
+		})
+	}
+}
+
 // "Should a more deterministic generator be used in kernel 0?"
 func BenchmarkAblationGenerators(b *testing.B) {
 	const scale = 14

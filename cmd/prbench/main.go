@@ -32,6 +32,14 @@
 //	prbench -scale 16 -procsweep 1,2,4,8
 //	prbench -scale 16 -procsweep 1,2,4 -rankworkers 1,2,4
 //
+// Edge-file formats: -format selects the on-disk codec for the kernel
+// files (tsv is the paper-faithful default), and -formatsweep tabulates
+// kernel-1 edges/second per format — the Figure-7-style ablation showing
+// the sort going hardware-bound once text parsing leaves the loop:
+//
+//	prbench -scale 16 -variant extsort -format bin
+//	prbench -scale 16 -variant extsort -runedges 65536 -formatsweep
+//
 // Machine-readable output for the perf trajectory (single pipeline runs;
 // schema documented in the README, archived as BENCH_*.json by CI):
 //
@@ -55,6 +63,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dist"
 	"repro/internal/edge"
+	"repro/internal/fastio"
 	"repro/internal/pagerank"
 	"repro/internal/perfmodel"
 	"repro/internal/pipeline"
@@ -87,8 +96,10 @@ func main() {
 		procSweep   = flag.String("procsweep", "", "comma-separated rank counts for a goroutine-mode wall-clock scaling table")
 		rankWorkers = flag.String("rankworkers", "1", "hybrid intra-rank worker goroutines per rank; a comma list crosses with -procsweep into a p×w table")
 		predict     = flag.Bool("predict", false, "print hardware-model predictions and exit")
-		format      = flag.String("format", "table", "output format: table, csv, markdown")
-		jsonOut     = flag.Bool("json", false, "emit a machine-readable prbench/v1 JSON report (single pipeline runs; schema in README)")
+		format      = flag.String("format", "", "edge-file format: tsv, naivetsv, bin, packed (default: variant's)")
+		formatSweep = flag.Bool("formatsweep", false, "run the kernel-1 edge-file format ablation (K1 edges/s per format) and exit")
+		output      = flag.String("output", "table", "output format: table, csv, markdown")
+		jsonOut     = flag.Bool("json", false, "emit a machine-readable prbench/v2 JSON report (single pipeline runs; schema in README)")
 		ascii       = flag.Bool("ascii", true, "sweep: also draw ASCII log-log plots")
 	)
 	flag.Parse()
@@ -110,11 +121,17 @@ func main() {
 		fatal(fmt.Errorf("-json reports single pipeline runs; drop -predict/-procsweep/-procs"))
 	}
 	if *predict {
-		printPredictions(*scale, *format)
+		printPredictions(*scale, *output)
+		return
+	}
+	if *formatSweep {
+		if err := runFormatSweep(ctx, svc, *scale, *edgeFactor, *seed, *nfiles, *variant, *runEdges, *iterations, *damping, *dangling, *output); err != nil {
+			fatal(err)
+		}
 		return
 	}
 	if *procSweep != "" {
-		if err := runProcSweep(ctx, svc, *scale, *edgeFactor, *seed, *procSweep, rw, *iterations, *damping, *dangling, *format); err != nil {
+		if err := runProcSweep(ctx, svc, *scale, *edgeFactor, *seed, *procSweep, rw, *iterations, *damping, *dangling, *output); err != nil {
 			fatal(err)
 		}
 		return
@@ -137,7 +154,7 @@ func main() {
 		if *jsonOut {
 			fatal(fmt.Errorf("-json reports single pipeline runs; drop -sweep"))
 		}
-		if err := runSweep(ctx, *minScale, *maxScale, *edgeFactor, *seed, *variant, *format, *ascii); err != nil {
+		if err := runSweep(ctx, *minScale, *maxScale, *edgeFactor, *seed, *variant, *output, *ascii); err != nil {
 			fatal(err)
 		}
 		return
@@ -150,6 +167,7 @@ func main() {
 		NFiles:          *nfiles,
 		Variant:         *variant,
 		Generator:       pipeline.GeneratorKind(*generator),
+		Format:          *format,
 		Workers:         *workers,
 		RunEdges:        *runEdges,
 		SortEndVertices: *sortEnds,
@@ -182,7 +200,7 @@ func main() {
 		}
 		return
 	}
-	printResult(res, *format)
+	printResult(res, *output)
 }
 
 // parseIntList parses a comma-separated list of positive integers.
@@ -236,9 +254,11 @@ func emit(t *results.Table, format string) {
 	}
 }
 
-// The prbench/v1 JSON schema (documented in the README): one object per
+// The prbench/v2 JSON schema (documented in the README): one object per
 // pipeline run, the per-kernel rows of the table plus the allocation and
 // communication counters that seed the BENCH_*.json perf trajectory.
+// v2 adds the edge-file format, the encoded kernel-0/kernel-1 file
+// footprints, and the out-of-core spill record.
 type jsonKernel struct {
 	Kernel         string  `json:"kernel"`
 	Seconds        float64 `json:"seconds"`
@@ -256,35 +276,46 @@ type jsonComm struct {
 	TotalBytes     uint64 `json:"totalBytes"`
 }
 
-type jsonReport struct {
-	Schema      string       `json:"schema"`
-	Scale       int          `json:"scale"`
-	EdgeFactor  int          `json:"edgeFactor"`
-	Seed        uint64       `json:"seed"`
-	Variant     string       `json:"variant"`
-	Generator   string       `json:"generator"`
-	Workers     int          `json:"workers"`
-	RankWorkers int          `json:"rankWorkers"`
-	DistMode    string       `json:"distMode"`
-	RunEdges    int          `json:"runEdges,omitempty"`
-	N           uint64       `json:"n"`
-	M           uint64       `json:"m"`
-	Kernels     []jsonKernel `json:"kernels"`
-	NNZ         int          `json:"nnz,omitempty"`
-	MatrixMass  float64      `json:"matrixMass,omitempty"`
-	Iterations  int          `json:"iterations,omitempty"`
-	Comm        *jsonComm    `json:"comm,omitempty"`
+type jsonSpill struct {
+	Codec        string `json:"codec"`
+	Runs         int    `json:"runs"`
+	BytesWritten int64  `json:"bytesWritten"`
+	BytesRead    int64  `json:"bytesRead"`
 }
 
-// printResultJSON emits the prbench/v1 report for one pipeline run.
+type jsonReport struct {
+	Schema       string           `json:"schema"`
+	Scale        int              `json:"scale"`
+	EdgeFactor   int              `json:"edgeFactor"`
+	Seed         uint64           `json:"seed"`
+	Variant      string           `json:"variant"`
+	Generator    string           `json:"generator"`
+	Format       string           `json:"format"`
+	Workers      int              `json:"workers"`
+	RankWorkers  int              `json:"rankWorkers"`
+	DistMode     string           `json:"distMode"`
+	RunEdges     int              `json:"runEdges,omitempty"`
+	N            uint64           `json:"n"`
+	M            uint64           `json:"m"`
+	Kernels      []jsonKernel     `json:"kernels"`
+	EncodedBytes map[string]int64 `json:"encodedBytes,omitempty"`
+	NNZ          int              `json:"nnz,omitempty"`
+	MatrixMass   float64          `json:"matrixMass,omitempty"`
+	Iterations   int              `json:"iterations,omitempty"`
+	Comm         *jsonComm        `json:"comm,omitempty"`
+	Spill        *jsonSpill       `json:"spill,omitempty"`
+}
+
+// printResultJSON emits the prbench/v2 report for one pipeline run.
 func printResultJSON(res *core.Result) error {
 	rep := jsonReport{
-		Schema:      "prbench/v1",
+		Schema:      "prbench/v2",
 		Scale:       res.Config.Scale,
 		EdgeFactor:  res.Config.EdgeFactor,
 		Seed:        res.Config.Seed,
 		Variant:     res.Config.Variant,
 		Generator:   string(res.Config.Generator),
+		Format:      pipeline.FormatName(res.Config),
 		Workers:     res.Config.Workers,
 		RankWorkers: res.Config.RankWorkers,
 		DistMode:    res.Config.DistMode,
@@ -294,6 +325,28 @@ func printResultJSON(res *core.Result) error {
 		NNZ:         res.NNZ,
 		MatrixMass:  res.MatrixMass,
 		Iterations:  res.RankIterations,
+	}
+	// The encoded footprint of the surviving edge files: measured from
+	// the run's FS, absent for any stage whose files were not produced.
+	if res.Config.FS != nil {
+		if codec, err := fastio.CodecByName(rep.Format); err == nil {
+			for _, prefix := range []string{"k0", "k1"} {
+				if n, err := fastio.StripedBytes(res.Config.FS, prefix, codec); err == nil {
+					if rep.EncodedBytes == nil {
+						rep.EncodedBytes = map[string]int64{}
+					}
+					rep.EncodedBytes[prefix] = n
+				}
+			}
+		}
+	}
+	if res.Spill != nil {
+		rep.Spill = &jsonSpill{
+			Codec:        res.Spill.Codec,
+			Runs:         res.Spill.Runs,
+			BytesWritten: res.Spill.BytesWritten,
+			BytesRead:    res.Spill.BytesRead,
+		}
 	}
 	for _, k := range res.Kernels {
 		rep.Kernels = append(rep.Kernels, jsonKernel{
@@ -391,6 +444,70 @@ func runSweep(ctx context.Context, minScale, maxScale, edgeFactor int, seed uint
 		}
 		fmt.Println()
 	}
+	return nil
+}
+
+// runFormatSweep is the edge-file format ablation: it runs the full
+// pipeline once per codec on the same graph, tabulates kernel-1
+// edges/second next to the encoded kernel-0 footprint and the spill
+// record, and asserts the final rank vector is bit-for-bit identical
+// across formats — the codecs are transport, never semantics.
+func runFormatSweep(ctx context.Context, svc *core.Service, scale, edgeFactor int, seed uint64, nfiles int, variant string, runEdges, iterations int, damping float64, dangling bool, output string) error {
+	if variant == "all" {
+		return fmt.Errorf("-formatsweep ablates one variant; pick one")
+	}
+	formats := []string{"tsv", "bin", "packed"}
+	t := results.NewTable(
+		fmt.Sprintf("Kernel-1 edge-file format ablation: scale %d, variant %s", scale, variant),
+		"format", "K1 seconds", "K1 edges/s", "k0 bytes/edge", "spill codec", "spill B/edge")
+	var baseRank []float64
+	m := float64(uint64(edgeFactor) << uint(scale))
+	for _, f := range formats {
+		cfg := core.Config{
+			Scale: scale, EdgeFactor: edgeFactor, Seed: seed, NFiles: nfiles,
+			Variant: variant, Format: f, RunEdges: runEdges, KeepRank: true,
+			PageRank: pagerank.Options{Iterations: iterations, Damping: damping, Dangling: dangling},
+		}
+		res, err := svc.Run(ctx, cfg)
+		if err != nil {
+			return fmt.Errorf("format %s: %w", f, err)
+		}
+		var k1 core.KernelResult
+		for _, k := range res.Kernels {
+			if k.Kernel == core.K1Sort {
+				k1 = k
+			}
+		}
+		codec, err := fastio.CodecByName(f)
+		if err != nil {
+			return err
+		}
+		k0Bytes, err := fastio.StripedBytes(res.Config.FS, "k0", codec)
+		if err != nil {
+			return fmt.Errorf("format %s: sizing k0 files: %w", f, err)
+		}
+		spillCodec, spillPerEdge := "-", "-"
+		if res.Spill != nil && res.Spill.BytesWritten > 0 {
+			spillCodec = res.Spill.Codec
+			spillPerEdge = fmt.Sprintf("%.2f", float64(res.Spill.BytesWritten)/m)
+		}
+		t.AddRow(f,
+			fmt.Sprintf("%.4f", k1.Seconds),
+			fmt.Sprintf("%.4g", k1.EdgesPerSecond),
+			fmt.Sprintf("%.2f", float64(k0Bytes)/m),
+			spillCodec, spillPerEdge)
+		if baseRank == nil {
+			baseRank = res.Rank
+		} else {
+			for i := range baseRank {
+				if baseRank[i] != res.Rank[i] {
+					return fmt.Errorf("format %s: rank vector diverges from %s at %d", f, formats[0], i)
+				}
+			}
+		}
+	}
+	emit(t, output)
+	fmt.Println("cross-check: final rank vectors bit-for-bit identical across formats")
 	return nil
 }
 

@@ -13,6 +13,7 @@ import (
 	"os"
 
 	"repro/internal/core"
+	"repro/internal/fastio"
 	"repro/internal/vfs"
 )
 
@@ -22,13 +23,21 @@ func main() {
 		edgeFactor = flag.Int("edgefactor", 16, "edges per vertex (must match prgen)")
 		dir        = flag.String("dir", "prdata", "data directory holding kernel-1 files")
 		variant    = flag.String("variant", "csr", "implementation variant")
+		format     = flag.String("format", "", "edge-file format: tsv, naivetsv, bin, packed (default: detect from k1 files)")
 	)
 	flag.Parse()
 	fsys, err := vfs.NewDir(*dir)
 	if err != nil {
 		fatal(err)
 	}
-	cfg := core.Config{Scale: *scale, EdgeFactor: *edgeFactor, FS: fsys, Variant: *variant}
+	codec, err := fastio.DetectStriped(fsys, "k1")
+	if err != nil {
+		fatal(fmt.Errorf("detecting k1 format: %w", err))
+	}
+	if *format != "" && *format != codec.Name() {
+		fatal(fmt.Errorf("k1 files in %s are %q but -format says %q", *dir, codec.Name(), *format))
+	}
+	cfg := core.Config{Scale: *scale, EdgeFactor: *edgeFactor, FS: fsys, Variant: *variant, Format: codec.Name()}
 	res, err := core.RunOnce(context.Background(), cfg, core.K2Filter)
 	if err != nil {
 		fatal(err)

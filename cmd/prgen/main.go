@@ -26,6 +26,7 @@ func main() {
 		dir        = flag.String("dir", "prdata", "output directory")
 		variant    = flag.String("variant", "csr", "implementation variant")
 		generator  = flag.String("generator", "kronecker", "generator: kronecker, ppl, er")
+		format     = flag.String("format", "", "edge-file format: tsv, naivetsv, bin, packed (default: variant's)")
 	)
 	flag.Parse()
 	fsys, err := vfs.NewDir(*dir)
@@ -35,6 +36,7 @@ func main() {
 	cfg := core.Config{
 		Scale: *scale, EdgeFactor: *edgeFactor, Seed: *seed, NFiles: *nfiles,
 		FS: fsys, Variant: *variant, Generator: pipeline.GeneratorKind(*generator),
+		Format: *format,
 	}
 	start := time.Now()
 	res, err := core.RunOnce(context.Background(), cfg, core.K0Generate)
@@ -42,8 +44,8 @@ func main() {
 		fatal(err)
 	}
 	k := res.Kernels[0]
-	fmt.Printf("kernel 0: %d edges in %.3fs (%.4g edges/s, untimed in the benchmark) -> %s\n",
-		k.Edges, k.Seconds, k.EdgesPerSecond, *dir)
+	fmt.Printf("kernel 0: %d edges in %.3fs (%.4g edges/s, untimed in the benchmark) -> %s [%s]\n",
+		k.Edges, k.Seconds, k.EdgesPerSecond, *dir, pipeline.FormatName(cfg))
 	_ = start
 }
 

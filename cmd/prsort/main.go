@@ -13,6 +13,7 @@ import (
 	"os"
 
 	"repro/internal/core"
+	"repro/internal/fastio"
 	"repro/internal/vfs"
 )
 
@@ -24,15 +25,24 @@ func main() {
 		dir        = flag.String("dir", "prdata", "data directory holding kernel-0 files")
 		variant    = flag.String("variant", "csr", "implementation variant")
 		sortEnds   = flag.Bool("sortends", false, "sort by (u,v) instead of u only")
+		format     = flag.String("format", "", "edge-file format: tsv, naivetsv, bin, packed (default: detect from k0 files)")
 	)
 	flag.Parse()
 	fsys, err := vfs.NewDir(*dir)
 	if err != nil {
 		fatal(err)
 	}
+	codec, err := fastio.DetectStriped(fsys, "k0")
+	if err != nil {
+		fatal(fmt.Errorf("detecting k0 format: %w", err))
+	}
+	if *format != "" && *format != codec.Name() {
+		fatal(fmt.Errorf("k0 files in %s are %q but -format says %q", *dir, codec.Name(), *format))
+	}
 	cfg := core.Config{
 		Scale: *scale, EdgeFactor: *edgeFactor, NFiles: *nfiles,
 		FS: fsys, Variant: *variant, SortEndVertices: *sortEnds,
+		Format: codec.Name(),
 	}
 	res, err := core.RunOnce(context.Background(), cfg, core.K1Sort)
 	if err != nil {

@@ -25,6 +25,7 @@ func main() {
 		seed       = flag.Uint64("seed", 1, "random seed")
 		variant    = flag.String("variant", "all", "variant to validate, or 'all'")
 		generator  = flag.String("generator", "kronecker", "kernel-0 generator")
+		format     = flag.String("format", "", "edge-file format: tsv, naivetsv, bin, packed (default: variant's)")
 	)
 	flag.Parse()
 	variants := core.Variants()
@@ -36,6 +37,7 @@ func main() {
 		cfg := core.Config{
 			Scale: *scale, EdgeFactor: *edgeFactor, Seed: *seed,
 			Variant: v, Generator: pipeline.GeneratorKind(*generator),
+			Format: *format,
 		}
 		rep, err := pipeline.Validate(cfg)
 		if err != nil {

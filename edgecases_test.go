@@ -57,13 +57,13 @@ func TestEdgeCaseExternalSortRunOfOne(t *testing.T) {
 		l.Append(63-i, i)
 	}
 	out := edge.NewList(0)
-	edges, runs, err := xsort.External(fastio.NewListSource(l), fastio.NewListSink(out),
+	stats, err := xsort.External(fastio.NewListSource(l), fastio.NewListSink(out),
 		xsort.ExternalConfig{FS: vfs.NewMem(), RunEdges: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if edges != 64 || runs != 64 {
-		t.Errorf("edges=%d runs=%d", edges, runs)
+	if stats.Edges != 64 || stats.Runs != 64 {
+		t.Errorf("edges=%d runs=%d", stats.Edges, stats.Runs)
 	}
 	if !out.IsSortedByU() || !out.SameMultiset(l) {
 		t.Error("run-of-one external sort incorrect")

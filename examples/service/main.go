@@ -7,14 +7,16 @@
 //     variants.  The service's singleflight generator cache makes the
 //     whole batch generate kernel 0 exactly once (1 miss, 6 hits) while
 //     the admission queue caps how many execute at a time.
+//
 //  2. Streaming: one run observed live through RunStream — per-kernel
 //     boundaries and per-iteration kernel-3 ticks instead of "wait for
 //     the whole Result".
+//
 //  3. Cancellation: a run cancelled mid-kernel-3 returns
 //     context.Canceled promptly, in the goroutine-rank execution mode,
 //     with every rank goroutine torn down.
 //
-//	go run ./examples/service
+//     go run ./examples/service
 package main
 
 import (

@@ -197,7 +197,7 @@ func TestIntegrationExternalAndDistSortAgreeWithSerial(t *testing.T) {
 	}
 	extOut := serial.Clone()
 	extOut.Reset()
-	_, _, err = xsort.External(fastio.NewListSource(l), fastio.NewListSink(extOut),
+	_, err = xsort.External(fastio.NewListSource(l), fastio.NewListSink(extOut),
 		xsort.ExternalConfig{FS: vfs.NewMem(), RunEdges: 500})
 	if err != nil {
 		t.Fatal(err)

@@ -36,6 +36,7 @@ import (
 
 	"repro/internal/dist"
 	"repro/internal/edge"
+	"repro/internal/fastio"
 	"repro/internal/pagerank"
 	"repro/internal/perfmodel"
 	"repro/internal/pipeline"
@@ -167,6 +168,14 @@ func RunKernels(cfg Config, kernels []Kernel) (*Result, error) {
 
 // Variants lists the registered implementation variants.
 func Variants() []string { return pipeline.VariantNames() }
+
+// Formats lists the registered edge-file codec names accepted by
+// Config.Format ("tsv", "naivetsv", "bin", "packed").
+func Formats() []string { return fastio.CodecNames() }
+
+// DefaultFormat reports the edge-file format a variant uses when
+// Config.Format is empty (the paper-faithful text default).
+func DefaultFormat(variant string) string { return pipeline.DefaultFormat(variant) }
 
 // NewMemFS returns an in-memory storage backend for Config.FS.
 func NewMemFS() *vfs.Mem { return vfs.NewMem() }

@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"repro/internal/edge"
+	"repro/internal/fastio"
 	"repro/internal/pagerank"
 	"repro/internal/sparse"
 	"repro/internal/vfs"
@@ -461,7 +462,7 @@ func sortGoroutine(ctx context.Context, cfg Config, l *edge.List, p int) (*SortR
 // order.  Inputs were validated and defaulted by the Execute dispatcher.
 func sortExternalGoroutine(ctx context.Context, l *edge.List, p int, cfg ExtSortConfig, fs vfs.FS) (*ExtSortResult, error) {
 	out, err := spawnRanks(ctx, p, func(c *rankComm) rankOutcome {
-		bucket, runs, err := sortExternalRank(c, l, fs, cfg.TmpPrefix, cfg.RunEdges)
+		bucket, runs, err := sortExternalRank(c, l, fs, cfg.TmpPrefix, cfg.Codec, cfg.RunEdges)
 		return rankOutcome{edges: bucket, runs: runs, err: err}
 	})
 	if err != nil {
@@ -484,11 +485,11 @@ func sortExternalGoroutine(ctx context.Context, l *edge.List, p int, cfg ExtSort
 // segments, then k-way merge the received segments in (source rank, run)
 // order.  The rank's own run files are removed before it returns, on every
 // path.
-func sortExternalRank(c *rankComm, l *edge.List, fs vfs.FS, prefix string, runEdges int) (bucket *edge.List, runs int, err error) {
+func sortExternalRank(c *rankComm, l *edge.List, fs vfs.FS, prefix string, codec fastio.Codec, runEdges int) (bucket *edge.List, runs int, err error) {
 	p := c.procs()
 	m := l.Len()
 	lo, hi := blockBounds(m, p, c.rank)
-	names, spillErr := extSpillRuns(fs, prefix, l, c.rank, lo, hi, runEdges)
+	names, spillErr := extSpillRuns(fs, prefix, codec, l, c.rank, lo, hi, runEdges)
 	defer func() {
 		if rmErr := xsort.RemoveRuns(fs, names); rmErr != nil && err == nil {
 			bucket, err = nil, rmErr
@@ -503,7 +504,7 @@ func sortExternalRank(c *rankComm, l *edge.List, fs vfs.FS, prefix string, runEd
 	out := make([][]*edge.List, p)
 	var partErr error
 	for _, name := range names {
-		parts, perr := extPartitionRun(fs, name, splitters, p)
+		parts, perr := extPartitionRun(fs, name, codec, splitters, p)
 		if perr != nil {
 			partErr = perr
 			break

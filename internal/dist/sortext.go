@@ -7,8 +7,9 @@ package dist
 //
 //   - run formation: each rank scans its contiguous input chunk through a
 //     bounded buffer of RunEdges edges, stably radix-sorts each buffer
-//     load, and spills it to the vfs.FS as a fixed-width binary run
-//     (xsort.SpillRun — the same machinery xsort.External uses);
+//     load, and spills it to the vfs.FS in the configured spill codec —
+//     fixed-width binary by default (xsort.SpillRun — the same machinery
+//     xsort.External uses);
 //   - splitter selection: sampling, the gather at rank 0 and the splitter
 //     broadcast are byte-for-byte the schedule of the in-memory Sort
 //     (sampleChunk / chooseSplitters / destRank, shared helpers);
@@ -56,6 +57,11 @@ type ExtSortConfig struct {
 	// TmpPrefix names the run files; empty selects "tmp/distsort".  Runs
 	// are removed on completion, success and failure alike.
 	TmpPrefix string
+	// Codec encodes the spilled run files; nil means fastio.Binary, the
+	// fixed-width record with exact 16 B/edge accounting.  Sorted runs are
+	// the Packed codec's best case.  The codec never touches the wire:
+	// CommStats always meters 16 bytes per exchanged edge.
+	Codec fastio.Codec
 }
 
 func (cfg ExtSortConfig) withDefaults() ExtSortConfig {
@@ -67,6 +73,9 @@ func (cfg ExtSortConfig) withDefaults() ExtSortConfig {
 	}
 	if cfg.TmpPrefix == "" {
 		cfg.TmpPrefix = "tmp/distsort"
+	}
+	if cfg.Codec == nil {
+		cfg.Codec = fastio.Binary{}
 	}
 	return cfg
 }
@@ -87,12 +96,16 @@ type ExtSortResult struct {
 	RunsPerRank []int
 	// Spill is the storage traffic of the run spill and read-back, the
 	// I/O volume perfmodel.ParallelKernel1's out-of-core term prices.
+	// With the default Binary spill codec BytesWritten is exactly
+	// 16·edges; Packed runs measure smaller.
 	Spill vfs.IOStats
+	// SpillCodec names the codec that encoded the run files.
+	SpillCodec string
 }
 
 // extRunName names rank r's run file number run under prefix.
-func extRunName(prefix string, rank, run int) string {
-	return fmt.Sprintf("%s/r%03d-run%05d.bin", prefix, rank, run)
+func extRunName(prefix string, codec fastio.Codec, rank, run int) string {
+	return fmt.Sprintf("%s/r%03d-run%05d.%s", prefix, rank, run, codec.Name())
 }
 
 // extSpillRuns forms one rank's sorted runs from the chunk [lo, hi) of l:
@@ -101,7 +114,7 @@ func extRunName(prefix string, rank, run int) string {
 // runtimes.  The input list is never mutated.  The returned names include
 // any file a failed spill may have partially created, so RemoveRuns over
 // them restores the FS.
-func extSpillRuns(fs vfs.FS, prefix string, l *edge.List, rank, lo, hi, runEdges int) ([]string, error) {
+func extSpillRuns(fs vfs.FS, prefix string, codec fastio.Codec, l *edge.List, rank, lo, hi, runEdges int) ([]string, error) {
 	var names []string
 	n := runEdges
 	if hi-lo < n {
@@ -115,9 +128,9 @@ func extSpillRuns(fs vfs.FS, prefix string, l *edge.List, rank, lo, hi, runEdges
 		}
 		buf.Reset()
 		buf.AppendList(l.Slice(start, end))
-		name := extRunName(prefix, rank, len(names))
+		name := extRunName(prefix, codec, rank, len(names))
 		names = append(names, name)
-		if err := xsort.SpillRun(fs, name, buf, false); err != nil {
+		if err := xsort.SpillRun(fs, name, codec, buf, false); err != nil {
 			return names, err
 		}
 	}
@@ -128,26 +141,30 @@ func extSpillRuns(fs vfs.FS, prefix string, l *edge.List, rank, lo, hi, runEdges
 // the splitters into per-destination segments.  The run is sorted, so each
 // segment is a sorted, contiguous piece of it — the unit the destination's
 // k-way merge consumes.
-func extPartitionRun(fs vfs.FS, name string, splitters []uint64, p int) ([]*edge.List, error) {
+func extPartitionRun(fs vfs.FS, name string, codec fastio.Codec, splitters []uint64, p int) ([]*edge.List, error) {
+	const chunk = 8192 // edges per bulk read
 	r, err := fs.Open(name)
 	if err != nil {
 		return nil, err
 	}
 	defer r.Close()
-	src := fastio.Binary{}.NewReader(r)
+	src := codec.NewReader(r)
 	parts := make([]*edge.List, p)
 	for d := range parts {
 		parts[d] = edge.NewList(0)
 	}
+	buf := edge.NewList(0)
 	for {
-		u, v, rerr := src.ReadEdge()
-		if rerr == io.EOF {
-			return parts, nil
-		}
-		if rerr != nil {
+		buf.Reset()
+		if _, rerr := fastio.ReadEdges(src, buf, chunk); rerr != nil {
+			if rerr == io.EOF {
+				return parts, nil
+			}
 			return nil, rerr
 		}
-		parts[destRank(splitters, u)].Append(u, v)
+		for i := 0; i < buf.Len(); i++ {
+			parts[destRank(splitters, buf.U[i])].Append(buf.U[i], buf.V[i])
+		}
 	}
 }
 
@@ -204,6 +221,7 @@ func executeSortExternal(ctx context.Context, mode ExecMode, l *edge.List, p int
 		return nil, err
 	}
 	res.Spill = meter.Stats()
+	res.SpillCodec = cfg.Codec.Name()
 	return res, nil
 }
 
@@ -229,7 +247,7 @@ func sortExternalSim(ctx context.Context, l *edge.List, p int, cfg ExtSortConfig
 			return nil, err
 		}
 		lo, hi := blockBounds(m, p, r)
-		ns, spillErr := extSpillRuns(fs, cfg.TmpPrefix, l, r, lo, hi, cfg.RunEdges)
+		ns, spillErr := extSpillRuns(fs, cfg.TmpPrefix, cfg.Codec, l, r, lo, hi, cfg.RunEdges)
 		names[r] = ns
 		if spillErr != nil {
 			return nil, spillErr
@@ -253,7 +271,7 @@ func sortExternalSim(ctx context.Context, l *edge.List, p int, cfg ExtSortConfig
 			return nil, err
 		}
 		for _, name := range names[src] {
-			parts, perr := extPartitionRun(fs, name, splitters, p)
+			parts, perr := extPartitionRun(fs, name, cfg.Codec, splitters, p)
 			if perr != nil {
 				return nil, perr
 			}

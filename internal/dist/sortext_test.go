@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/dist"
 	"repro/internal/edge"
+	"repro/internal/fastio"
 	"repro/internal/vfs"
 	"repro/internal/xsort"
 )
@@ -229,6 +230,44 @@ func TestSortAdversarialBothModes(t *testing.T) {
 				} else if res.Comm != ref.Comm {
 					t.Errorf("%s p=%d: modes meter different bytes: %+v vs %+v", name, p, res.Comm, ref.Comm)
 				}
+			}
+		}
+	}
+}
+
+// TestSortExternalSpillCodec pins the configurable spill codec: results
+// are bit-for-bit invariant in it, the result records its name, and the
+// packed codec's sorted-run encoding spills measurably fewer bytes than
+// the 16-byte fixed-width default.
+func TestSortExternalSpillCodec(t *testing.T) {
+	l, _ := kron(t, 8, 3)
+	for _, p := range []int{1, 3, 4} {
+		def, err := dist.SortExternal(l, p, dist.ExtSortConfig{RunEdges: 300})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if def.SpillCodec != "bin" {
+			t.Errorf("p=%d: default spill codec %q, want bin", p, def.SpillCodec)
+		}
+		for _, mode := range []dist.ExecMode{dist.ExecSim, dist.ExecGoroutine} {
+			res, err := dist.SortExternalMode(mode, l, p, dist.ExtSortConfig{
+				RunEdges: 300, Codec: fastio.Packed{},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.SpillCodec != "packed" {
+				t.Errorf("p=%d %v: spill codec %q, want packed", p, mode, res.SpillCodec)
+			}
+			if !res.Sorted.Equal(def.Sorted) {
+				t.Fatalf("p=%d %v: packed spill changed the sorted output", p, mode)
+			}
+			if res.Comm != def.Comm {
+				t.Errorf("p=%d %v: packed spill changed the comm record: %+v vs %+v", p, mode, res.Comm, def.Comm)
+			}
+			if res.Spill.BytesWritten >= def.Spill.BytesWritten {
+				t.Errorf("p=%d %v: packed spill wrote %d bytes, binary wrote %d",
+					p, mode, res.Spill.BytesWritten, def.Spill.BytesWritten)
 			}
 		}
 	}

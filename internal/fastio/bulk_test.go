@@ -1,0 +1,212 @@
+package fastio
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"repro/internal/edge"
+	"repro/internal/vfs"
+)
+
+// perEdgeOnlySink hides a sink's bulk method so the package-level
+// WriteEdges exercises its per-edge fallback.
+type perEdgeOnlySink struct{ s EdgeSink }
+
+func (p perEdgeOnlySink) WriteEdge(u, v uint64) error { return p.s.WriteEdge(u, v) }
+func (p perEdgeOnlySink) Flush() error                { return p.s.Flush() }
+
+// perEdgeOnlySource hides a source's bulk method likewise.
+type perEdgeOnlySource struct{ s EdgeSource }
+
+func (p perEdgeOnlySource) ReadEdge() (uint64, uint64, error) { return p.s.ReadEdge() }
+
+// TestBulkFallbackMatchesNative: for every codec, the per-edge fallback
+// path and the native bulk path must produce identical bytes and decode
+// to identical edges.
+func TestBulkFallbackMatchesNative(t *testing.T) {
+	l := randomList(21, 3000)
+	for _, c := range Codecs() {
+		t.Run(c.Name(), func(t *testing.T) {
+			var native, fallback bytes.Buffer
+			w := c.NewWriter(&native)
+			if err := WriteEdges(w, l, 0, l.Len()); err != nil {
+				t.Fatal(err)
+			}
+			if err := w.Flush(); err != nil {
+				t.Fatal(err)
+			}
+			fw := c.NewWriter(&fallback)
+			if err := WriteEdges(perEdgeOnlySink{fw}, l, 0, l.Len()); err != nil {
+				t.Fatal(err)
+			}
+			if err := fw.Flush(); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(native.Bytes(), fallback.Bytes()) {
+				t.Fatal("bulk and per-edge writes disagree on the wire bytes")
+			}
+			for _, wrap := range []bool{false, true} {
+				var src EdgeSource = c.NewReader(bytes.NewReader(native.Bytes()))
+				if wrap {
+					src = perEdgeOnlySource{src}
+				}
+				got := edge.NewList(0)
+				for {
+					n, err := ReadEdges(src, got, 777) // deliberately odd batch size
+					if err == io.EOF {
+						break
+					}
+					if err != nil {
+						t.Fatal(err)
+					}
+					if n == 0 {
+						t.Fatal("ReadEdges returned (0, nil): contract requires progress or io.EOF")
+					}
+				}
+				if !got.Equal(l) {
+					t.Fatalf("read (wrapped=%v) corrupted edges", wrap)
+				}
+			}
+		})
+	}
+}
+
+func TestWriteEdgesBounds(t *testing.T) {
+	l := randomList(22, 10)
+	sink := NewListSink(edge.NewList(0))
+	for _, r := range [][2]int{{-1, 5}, {0, 11}, {7, 3}} {
+		if err := WriteEdges(sink, l, r[0], r[1]); err == nil {
+			t.Errorf("range [%d:%d) accepted", r[0], r[1])
+		}
+	}
+	if err := WriteEdges(sink, l, 4, 4); err != nil {
+		t.Errorf("empty range rejected: %v", err)
+	}
+}
+
+func TestReadEdgesZeroMax(t *testing.T) {
+	src := NewListSource(randomList(23, 5))
+	l := edge.NewList(0)
+	if n, err := ReadEdges(src, l, 0); n != 0 || err != nil {
+		t.Errorf("ReadEdges(max=0) = %d, %v; want 0, nil", n, err)
+	}
+	if n, err := ReadEdges(src, l, -3); n != 0 || err != nil {
+		t.Errorf("ReadEdges(max=-3) = %d, %v; want 0, nil", n, err)
+	}
+}
+
+// TestReadEdgesFallbackEOFAfterSome: the fallback loop must return
+// (n>0, nil) when EOF lands mid-batch, then (0, io.EOF).
+func TestReadEdgesFallbackEOFAfterSome(t *testing.T) {
+	data := randomList(24, 7)
+	src := perEdgeOnlySource{NewListSource(data)}
+	l := edge.NewList(0)
+	n, err := ReadEdges(src, l, 100)
+	if n != 7 || err != nil {
+		t.Fatalf("first batch = %d, %v; want 7, nil", n, err)
+	}
+	n, err = ReadEdges(src, l, 100)
+	if n != 0 || err != io.EOF {
+		t.Fatalf("second batch = %d, %v; want 0, io.EOF", n, err)
+	}
+	if !l.Equal(data) {
+		t.Fatal("fallback read corrupted edges")
+	}
+}
+
+// TestStripedSinkBulkMatchesPerEdge: stripe boundaries must land on the
+// same edges whether the sink is fed in bulk or edge by edge.
+func TestStripedSinkBulkMatchesPerEdge(t *testing.T) {
+	l := randomList(25, 1013) // not divisible by the stripe count
+	for _, c := range Codecs() {
+		for _, nfiles := range []int{1, 3, 7} {
+			bulkFS, edgeFS := vfs.NewMem(), vfs.NewMem()
+			bs, err := NewStripedSink(bulkFS, "k0", c, nfiles, int64(l.Len()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Feed in ragged batches so boundaries fall mid-batch.
+			for lo := 0; lo < l.Len(); {
+				hi := lo + 97
+				if hi > l.Len() {
+					hi = l.Len()
+				}
+				if err := WriteEdges(bs, l, lo, hi); err != nil {
+					t.Fatal(err)
+				}
+				lo = hi
+			}
+			if err := bs.Close(); err != nil {
+				t.Fatal(err)
+			}
+			es, err := NewStripedSink(edgeFS, "k0", c, nfiles, int64(l.Len()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < l.Len(); i++ {
+				if err := es.WriteEdge(l.U[i], l.V[i]); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := es.Close(); err != nil {
+				t.Fatal(err)
+			}
+			names, err := bulkFS.List()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(names) != nfiles {
+				t.Fatalf("%s nfiles=%d: bulk sink wrote %d files", c.Name(), nfiles, len(names))
+			}
+			for _, name := range names {
+				a, err := bulkFS.Size(name)
+				if err != nil {
+					t.Fatal(err)
+				}
+				b, err := edgeFS.Size(name)
+				if err != nil {
+					t.Fatalf("%s missing from per-edge sink: %v", name, err)
+				}
+				if a != b {
+					t.Fatalf("%s nfiles=%d: stripe %s sizes differ (bulk %d, per-edge %d)", c.Name(), nfiles, name, a, b)
+				}
+			}
+			got, err := ReadStriped(bulkFS, "k0", c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !got.Equal(l) {
+				t.Fatalf("%s nfiles=%d: bulk striped round trip corrupted edges", c.Name(), nfiles)
+			}
+		}
+	}
+}
+
+// TestBinaryReadEdgesTruncated: a torn fixed-width record is an error on
+// the bulk path too, not a silent drop.
+func TestBinaryReadEdgesTruncated(t *testing.T) {
+	var buf bytes.Buffer
+	w := Binary{}.NewWriter(&buf)
+	for i := uint64(0); i < 10; i++ {
+		if err := w.WriteEdge(i, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()[:buf.Len()-5]
+	r := Binary{}.NewReader(bytes.NewReader(data))
+	l := edge.NewList(0)
+	var err error
+	for err == nil {
+		_, err = ReadEdges(r, l, 4)
+	}
+	if err == io.EOF {
+		t.Fatal("truncated binary stream read cleanly through the bulk path")
+	}
+	if l.Len() != 9 {
+		t.Errorf("decoded %d intact edges before the tear, want 9", l.Len())
+	}
+}

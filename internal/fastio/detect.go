@@ -1,0 +1,93 @@
+package fastio
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/vfs"
+)
+
+// Codec resolution: by name (CLI flags, pipeline.Config.Format), by file
+// extension, and by on-disk content (CLIs pointed at a pre-existing
+// directory must not guess).
+
+// Codecs returns one instance of every codec, in registry order.
+func Codecs() []Codec { return []Codec{TSV{}, NaiveTSV{}, Binary{}, Packed{}} }
+
+// CodecNames returns the registered codec names, in registry order.
+func CodecNames() []string {
+	cs := Codecs()
+	names := make([]string, len(cs))
+	for i, c := range cs {
+		names[i] = c.Name()
+	}
+	return names
+}
+
+// CodecByName resolves a codec name as spelled in flags, Config.Format,
+// and file extensions.
+func CodecByName(name string) (Codec, error) {
+	for _, c := range Codecs() {
+		if c.Name() == name {
+			return c, nil
+		}
+	}
+	return nil, fmt.Errorf("fastio: unknown codec %q (have %s)", name, strings.Join(CodecNames(), ", "))
+}
+
+// codecByExt resolves a codec from name's file extension, if recognized.
+func codecByExt(name string) (Codec, bool) {
+	for _, c := range Codecs() {
+		if strings.HasSuffix(name, "."+c.Name()) {
+			return c, true
+		}
+	}
+	return nil, false
+}
+
+// Detect identifies the codec that encoded the file.  A recognized
+// extension decides directly — stripe files always carry one — otherwise
+// the content is sniffed: the Packed magic wins, a leading decimal digit
+// means the tab-separated text format, and anything else is the
+// fixed-width binary record.  An extensionless empty file is undetectable
+// and returns an error.
+func Detect(fs vfs.FS, name string) (Codec, error) {
+	if c, ok := codecByExt(name); ok {
+		return c, nil
+	}
+	r, err := fs.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	defer r.Close()
+	var head [len(packedMagic)]byte
+	n, err := io.ReadFull(r, head[:])
+	if err != nil && err != io.EOF && err != io.ErrUnexpectedEOF {
+		return nil, err
+	}
+	b := head[:n]
+	switch {
+	case string(b) == packedMagic:
+		return Packed{}, nil
+	case n > 0 && b[0] >= '0' && b[0] <= '9':
+		return TSV{}, nil
+	case n == 0:
+		return nil, fmt.Errorf("fastio: cannot detect codec of empty file %q without a recognized extension", name)
+	default:
+		return Binary{}, nil
+	}
+}
+
+// DetectStriped resolves the codec of an existing striped prefix by
+// probing StripeName(prefix, c, 0) for every registered codec — the
+// extension is part of the stripe name, so presence is unambiguous.
+func DetectStriped(fs vfs.FS, prefix string) (Codec, error) {
+	for _, c := range Codecs() {
+		if _, err := fs.Size(StripeName(prefix, c, 0)); err == nil {
+			return c, nil
+		}
+	}
+	return nil, fmt.Errorf("fastio: no stripes found for prefix %q in any known format (%s)",
+		prefix, strings.Join(CodecNames(), ", "))
+}

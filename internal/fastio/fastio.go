@@ -7,10 +7,17 @@
 // package provides:
 //
 //   - allocation-free decimal integer formatting and parsing;
-//   - three interchangeable codecs: TSV (the paper's format, hand-optimized),
+//   - four interchangeable codecs: TSV (the paper's format, hand-optimized),
 //     NaiveTSV (the same format via strconv/bufio, standing in for the
-//     paper's interpreted-language implementations), and Binary (16-byte
-//     little-endian records, used by the text-vs-binary ablation);
+//     paper's interpreted-language implementations), Binary (16-byte
+//     little-endian records, used by the text-vs-binary ablation), and
+//     Packed (block-structured varint + delta encoding that exploits the
+//     sortedness kernel 1 produces);
+//   - batched WriteEdges/ReadEdges paths that move edges in bulk through
+//     codecs that support it (BulkEdgeSink/BulkEdgeSource) and fall back
+//     to the per-edge interface otherwise;
+//   - codec resolution by name (CodecByName) and by on-disk content
+//     (Detect, DetectStriped);
 //   - striped writing and reading of edge lists across N files of a
 //     vfs.FS, plus a streaming reader for out-of-core kernels.
 package fastio
@@ -385,6 +392,7 @@ func (b *binWriter) Flush() error {
 type binReader struct {
 	r   *bufio.Reader
 	rec [16]byte
+	blk []byte // bulk scratch, allocated on first ReadEdges
 }
 
 func (b *binReader) ReadEdge() (uint64, uint64, error) {
@@ -438,11 +446,9 @@ func writeOneStripe(fs vfs.FS, name string, codec Codec, l *edge.List, lo, hi in
 		return err
 	}
 	sink := codec.NewWriter(w)
-	for i := lo; i < hi; i++ {
-		if err := sink.WriteEdge(l.U[i], l.V[i]); err != nil {
-			w.Close()
-			return err
-		}
+	if err := WriteEdges(sink, l, lo, hi); err != nil {
+		w.Close()
+		return err
 	}
 	if err := sink.Flush(); err != nil {
 		w.Close()
@@ -466,6 +472,24 @@ func StripeNames(fs vfs.FS, prefix string, codec Codec) ([]string, error) {
 		return nil, fmt.Errorf("fastio: no stripes found for prefix %q (codec %s)", prefix, codec.Name())
 	}
 	return names, nil
+}
+
+// StripedBytes sums the on-disk sizes of the stripe files for prefix —
+// the encoded footprint a format ablation reports next to edges/second.
+func StripedBytes(fs vfs.FS, prefix string, codec Codec) (int64, error) {
+	names, err := StripeNames(fs, prefix, codec)
+	if err != nil {
+		return 0, err
+	}
+	var total int64
+	for _, name := range names {
+		n, err := fs.Size(name)
+		if err != nil {
+			return 0, err
+		}
+		total += n
+	}
+	return total, nil
 }
 
 // ReadStriped reads all stripes for prefix into a single edge list, in
@@ -492,14 +516,12 @@ func readOneStripe(fs vfs.FS, name string, codec Codec, l *edge.List) error {
 	defer r.Close()
 	src := codec.NewReader(r)
 	for {
-		u, v, err := src.ReadEdge()
-		if err == io.EOF {
-			return nil
-		}
-		if err != nil {
+		if _, err := ReadEdges(src, l, readChunkEdges); err != nil {
+			if err == io.EOF {
+				return nil
+			}
 			return fmt.Errorf("fastio: %s: %w", name, err)
 		}
-		l.Append(u, v)
 	}
 }
 

@@ -62,8 +62,9 @@ func TestParseUintErrors(t *testing.T) {
 	}
 }
 
-// codecs under test.
-var allCodecs = []Codec{TSV{}, NaiveTSV{}, Binary{}}
+// codecs under test: every registered codec, kept in sync by the
+// detection registry so a new codec cannot dodge the property tests.
+var allCodecs = Codecs()
 
 func randomList(seed uint64, n int) *edge.List {
 	g := xrand.New(seed)

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 
+	"repro/internal/edge"
 	"repro/internal/vfs"
 )
 
@@ -53,6 +54,36 @@ func (s *StripedSink) WriteEdge(u, v uint64) error {
 	s.written++
 	if s.written >= s.edgesPerStripe && s.stripe < s.nfiles {
 		return s.closeCurrent()
+	}
+	return nil
+}
+
+// WriteEdges implements BulkEdgeSink, carving the batch along the same
+// stripe boundaries the per-edge path would produce and forwarding each
+// piece through the inner codec's bulk path.
+func (s *StripedSink) WriteEdges(l *edge.List, lo, hi int) error {
+	for lo < hi {
+		if s.sink == nil {
+			if err := s.openNext(); err != nil {
+				return err
+			}
+		}
+		n := hi - lo
+		if s.stripe < s.nfiles { // later stripes remain: honor this stripe's quota
+			if room := s.edgesPerStripe - s.written; int64(n) > room {
+				n = int(room)
+			}
+		}
+		if err := WriteEdges(s.sink, l, lo, lo+n); err != nil {
+			return err
+		}
+		s.written += int64(n)
+		lo += n
+		if s.written >= s.edgesPerStripe && s.stripe < s.nfiles {
+			if err := s.closeCurrent(); err != nil {
+				return err
+			}
+		}
 	}
 	return nil
 }

@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"repro/internal/dist"
+	"repro/internal/fastio"
 )
 
 // Hardware is the parameter set of the machine model.
@@ -74,13 +75,26 @@ type Workload struct {
 	EdgeFactor int
 	// Iterations is the kernel-3 iteration count (20 in the benchmark).
 	Iterations int
-	// BytesPerEdgeText is the average encoded text size of one edge.
+	// Format names the edge-file codec the pipeline reads and writes
+	// ("tsv", "naivetsv", "bin", "packed").  When BytesPerEdgeText is
+	// zero, the model prices file traffic and codec compute from the
+	// named codec's BytesPerEdge estimate at this workload's vertex
+	// count.  Empty models the benchmark's tab-separated text default.
+	Format string
+	// BytesPerEdgeText is the average encoded file size of one edge.
+	// Zero resolves it from Format (or the TSV default when Format is
+	// also empty); set it explicitly to override the codec estimate.
 	BytesPerEdgeText float64
 	// RunEdges, when positive, selects the out-of-core kernel-1 regime
 	// (dist.SortExternal): each node's run buffer holds RunEdges edges and
 	// the sort round-trips its chunk through storage as sorted binary
 	// runs.  Zero models the in-memory kernel 1.
 	RunEdges int
+	// SpillBytesPerEdge is the encoded size of one spilled edge in the
+	// out-of-core regime.  Zero models the 16-byte fixed-width binary
+	// spill record the sorters use by default; a packed-spill run
+	// (pipeline.Config.Format "packed") prices in below 16.
+	SpillBytesPerEdge float64
 	// RankWorkers is the hybrid intra-rank worker count
 	// (dist.Config.Workers): each rank's local compute runs on this many
 	// cores of its node, capped at Hardware.Cores.  0/1 model serial
@@ -99,8 +113,15 @@ func (w Workload) withDefaults() Workload {
 		w.Iterations = 20
 	}
 	if w.BytesPerEdgeText == 0 {
-		// Two ~6-digit labels, tab, newline at the paper's scales.
-		w.BytesPerEdgeText = 14
+		if c, err := fastio.CodecByName(w.Format); w.Format != "" && err == nil {
+			w.BytesPerEdgeText = c.BytesPerEdge(uint64(w.N()) - 1)
+		} else {
+			// Two ~6-digit labels, tab, newline at the paper's scales.
+			w.BytesPerEdgeText = 14
+		}
+	}
+	if w.SpillBytesPerEdge == 0 {
+		w.SpillBytesPerEdge = 16 // fixed-width binary spill records
 	}
 	if w.RankWorkers < 1 {
 		w.RankWorkers = 1
@@ -275,8 +296,9 @@ func ParallelKernel3(h Hardware, w Workload, p int) Prediction {
 //
 // A positive Workload.RunEdges switches the model to the out-of-core sort
 // (dist.SortExternal): run formation spills each node's M/p-edge chunk to
-// storage as 16-byte binary records and the pre-exchange partition streams
-// it back, adding one storage write and one storage read of the chunk —
+// storage as SpillBytesPerEdge-byte records (16-byte fixed-width binary
+// by default) and the pre-exchange partition streams it back, adding one
+// storage write and one storage read of the chunk —
 // the spill/merge I/O term dist's ExtSortResult.Spill measures (the k-way
 // merge itself reads the already-exchanged segments from memory, so it
 // adds no further storage traffic).
@@ -298,7 +320,7 @@ func ParallelKernel1(h Hardware, w Workload, p int) Prediction {
 	memory := m * radixBytesPerEdgePass * passes / h.MemBandwidth / float64(p)
 	storage := (m*w.BytesPerEdgeText/h.StorageReadBW + m*w.BytesPerEdgeText/h.StorageWriteBW) / float64(p)
 	if w.RunEdges > 0 {
-		spill := m / float64(p) * 16
+		spill := m / float64(p) * w.SpillBytesPerEdge
 		storage += spill/h.StorageWriteBW + spill/h.StorageReadBW
 	}
 	times := map[string]float64{"compute": compute, "memory": memory, "storage": storage}

@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/dist"
 	"repro/internal/edge"
+	"repro/internal/fastio"
 	"repro/internal/gensuite"
 	"repro/internal/graphblas"
 	"repro/internal/kronecker"
@@ -71,6 +72,14 @@ type Config struct {
 	FS vfs.FS
 	// Variant names the implementation variant; empty selects "csr".
 	Variant string
+	// Format names the kernel-0/1 edge-file codec: "tsv" (the paper's
+	// text format), "naivetsv", "bin", or "packed".  Empty keeps the
+	// variant's paper-faithful default (tsv; the naive coo variant uses
+	// naivetsv).  Results are bit-for-bit invariant in it — only encoded
+	// bytes and kernel-0/1 throughput change.  The out-of-core sorters'
+	// spill runs follow it too: "packed" spills packed runs, every other
+	// format spills the fixed-width binary record.
+	Format string
 	// Generator selects the K0 generator; empty selects Kronecker.
 	Generator GeneratorKind
 	// Workers bounds goroutines in parallel variants; <= 0 means default.
@@ -145,6 +154,11 @@ func (c Config) Validate() error {
 	}
 	if _, ok := registry[cc.Variant]; !ok {
 		return fmt.Errorf("pipeline: unknown variant %q (have %v)", cc.Variant, VariantNames())
+	}
+	if cc.Format != "" {
+		if _, err := fastio.CodecByName(cc.Format); err != nil {
+			return fmt.Errorf("pipeline: %w", err)
+		}
 	}
 	switch cc.Generator {
 	case GenKronecker, GenPPL, GenER:
@@ -250,6 +264,9 @@ type Result struct {
 	// Comm is the total communication record of the run's distributed
 	// collectives (dist variants only; nil otherwise).
 	Comm *dist.CommStats
+	// Spill is the out-of-core kernel 1's run-file record (extsort and
+	// distext variants only; nil otherwise).
+	Spill *SpillStats
 	// GenCache is the run's generator-cache record (runs with a
 	// Config.Source only; nil when kernel 0 generated directly).
 	GenCache *GenCacheStats
@@ -285,6 +302,9 @@ type Run struct {
 	// Comm accumulates the distributed collectives' communication record
 	// across kernels (dist variants call AddComm; nil for serial variants).
 	Comm *dist.CommStats
+	// Spill records the out-of-core kernel 1's run-file traffic (extsort
+	// and distext variants; nil for in-memory sorts).
+	Spill *SpillStats
 	// GenCache records the generator-cache interaction when Cfg.Source
 	// is set (filled by sourceEdges).
 	GenCache *GenCacheStats
@@ -310,6 +330,63 @@ func (r *Run) AddComm(st dist.CommStats) {
 		r.Comm = &dist.CommStats{}
 	}
 	r.Comm.Add(st)
+}
+
+// DefaultFormat returns a variant's paper-faithful default codec name
+// for its kernel-0/1 edge files: naivetsv for the naive coo variant
+// (whose string handling is the point), tsv everywhere else.
+func DefaultFormat(variant string) string {
+	if variant == "coo" {
+		return "naivetsv"
+	}
+	return "tsv"
+}
+
+// FormatName resolves the codec name cfg's run uses for its kernel-0/1
+// edge files: Config.Format when set, else the variant's default.
+func FormatName(cfg Config) string {
+	if cfg.Format != "" {
+		return cfg.Format
+	}
+	return DefaultFormat(cfg.withDefaults().Variant)
+}
+
+// Codec resolves the run's edge-file codec — FormatName of the run's
+// configuration.  Every variant kernel that touches the k0/k1 files
+// routes through it, which is what makes Config.Format a single switch.
+func (r *Run) Codec() fastio.Codec {
+	c, err := fastio.CodecByName(FormatName(r.Cfg))
+	if err != nil {
+		// Unreachable: Validate checked Format before the run began.
+		panic(err)
+	}
+	return c
+}
+
+// SpillCodec resolves the out-of-core sorters' run-file codec: Packed
+// when the run's format is packed (sorted runs are its best case), else
+// the fixed-width Binary record, whose 16 B/edge keeps spill accounting
+// exact and bit-for-bit invariant across the other formats.
+func (r *Run) SpillCodec() fastio.Codec {
+	if r.Cfg.Format == "packed" {
+		return fastio.Packed{}
+	}
+	return fastio.Binary{}
+}
+
+// SpillStats records an out-of-core kernel 1's run-file traffic: which
+// codec encoded the spilled runs and how many encoded bytes moved, so a
+// cheaper spill codec is a measured reduction, not an assertion.
+type SpillStats struct {
+	// Codec names the spill-run codec ("bin" or "packed").
+	Codec string
+	// Runs is the number of sorted runs formed (summed over ranks for
+	// the distributed sorter).
+	Runs int
+	// BytesWritten and BytesRead are the run files' encoded bytes: the
+	// spill during run formation and the read-back during the merge.
+	BytesWritten int64
+	BytesRead    int64
 }
 
 // Variant implements the four kernels.  Kernels communicate only through
@@ -491,6 +568,7 @@ func ExecuteKernelsContext(ctx context.Context, cfg Config, kernels []Kernel) (*
 		}
 	}
 	res.Comm = run.Comm
+	res.Spill = run.Spill
 	res.GenCache = run.GenCache
 	return res, nil
 }

@@ -65,11 +65,20 @@ func Validate(cfg Config) (*Validation, error) {
 	run := &Run{Cfg: cfg, FS: cfg.FS}
 	rep := &Validation{}
 
-	// Run kernel 0 and audit the files.
+	// Run kernel 0 and audit the files.  The codec is resolved by
+	// detection, not assumption: the stripes on disk name their own
+	// format, and a mismatch with the configured format is itself a
+	// validation failure (not a misread).
 	if err := v.Kernel0(run); err != nil {
 		return nil, fmt.Errorf("validate: kernel 0: %w", err)
 	}
-	codec := variantCodec(cfg.Variant)
+	codec, err := fastio.DetectStriped(cfg.FS, "k0")
+	if err != nil {
+		return nil, fmt.Errorf("validate: detecting k0 format: %w", err)
+	}
+	if want := FormatName(cfg); codec.Name() != want {
+		return nil, fmt.Errorf("validate: k0 files are %q but the configuration says %q", codec.Name(), want)
+	}
 	k0, err := fastio.ReadStriped(cfg.FS, "k0", codec)
 	if err != nil {
 		return nil, fmt.Errorf("validate: reading k0 files: %w", err)
@@ -193,13 +202,4 @@ func Validate(cfg Config) (*Validation, error) {
 		}
 	}
 	return rep, nil
-}
-
-// variantCodec returns the file codec a variant writes, needed to read its
-// artifacts back during validation.
-func variantCodec(variant string) fastio.Codec {
-	if variant == "coo" {
-		return fastio.NaiveTSV{}
-	}
-	return fastio.TSV{}
 }

@@ -34,7 +34,7 @@ func (columnarVariant) Kernel0(r *Run) error {
 	if err != nil {
 		return err
 	}
-	return fastio.WriteStriped(r.FS, "k0", fastio.TSV{}, r.Cfg.NFiles, l)
+	return fastio.WriteStriped(r.FS, "k0", r.Codec(), r.Cfg.NFiles, l)
 }
 
 // Kernel1 implements Variant.  The columnar pipeline always sorts fully by
@@ -42,17 +42,17 @@ func (columnarVariant) Kernel0(r *Run) error {
 // kernel-1 contract holds, and the full order is what lets kernel 2 be one
 // linear scan.
 func (columnarVariant) Kernel1(r *Run) error {
-	l, err := fastio.ReadStriped(r.FS, "k0", fastio.TSV{})
+	l, err := fastio.ReadStriped(r.FS, "k0", r.Codec())
 	if err != nil {
 		return err
 	}
 	xsort.RadixByUV(l)
-	return fastio.WriteStriped(r.FS, "k1", fastio.TSV{}, r.Cfg.NFiles, l)
+	return fastio.WriteStriped(r.FS, "k1", r.Codec(), r.Cfg.NFiles, l)
 }
 
 // Kernel2 implements Variant.
 func (columnarVariant) Kernel2(r *Run) error {
-	l, err := fastio.ReadStriped(r.FS, "k1", fastio.TSV{})
+	l, err := fastio.ReadStriped(r.FS, "k1", r.Codec())
 	if err != nil {
 		return err
 	}

@@ -31,12 +31,12 @@ func (cooVariant) Kernel0(r *Run) error {
 	if err != nil {
 		return err
 	}
-	return fastio.WriteStriped(r.FS, "k0", fastio.NaiveTSV{}, r.Cfg.NFiles, l)
+	return fastio.WriteStriped(r.FS, "k0", r.Codec(), r.Cfg.NFiles, l)
 }
 
 // Kernel1 implements Variant.
 func (cooVariant) Kernel1(r *Run) error {
-	l, err := fastio.ReadStriped(r.FS, "k0", fastio.NaiveTSV{})
+	l, err := fastio.ReadStriped(r.FS, "k0", r.Codec())
 	if err != nil {
 		return err
 	}
@@ -45,12 +45,12 @@ func (cooVariant) Kernel1(r *Run) error {
 	} else {
 		xsort.ByUStable(l)
 	}
-	return fastio.WriteStriped(r.FS, "k1", fastio.NaiveTSV{}, r.Cfg.NFiles, l)
+	return fastio.WriteStriped(r.FS, "k1", r.Codec(), r.Cfg.NFiles, l)
 }
 
 // Kernel2 implements Variant.
 func (cooVariant) Kernel2(r *Run) error {
-	l, err := fastio.ReadStriped(r.FS, "k1", fastio.NaiveTSV{})
+	l, err := fastio.ReadStriped(r.FS, "k1", r.Codec())
 	if err != nil {
 		return err
 	}

@@ -30,12 +30,12 @@ func (csrVariant) Kernel0(r *Run) error {
 	if err != nil {
 		return err
 	}
-	return fastio.WriteStriped(r.FS, "k0", fastio.TSV{}, r.Cfg.NFiles, l)
+	return fastio.WriteStriped(r.FS, "k0", r.Codec(), r.Cfg.NFiles, l)
 }
 
 // Kernel1 implements Variant.
 func (csrVariant) Kernel1(r *Run) error {
-	l, err := fastio.ReadStriped(r.FS, "k0", fastio.TSV{})
+	l, err := fastio.ReadStriped(r.FS, "k0", r.Codec())
 	if err != nil {
 		return err
 	}
@@ -44,12 +44,12 @@ func (csrVariant) Kernel1(r *Run) error {
 	} else {
 		xsort.RadixByU(l)
 	}
-	return fastio.WriteStriped(r.FS, "k1", fastio.TSV{}, r.Cfg.NFiles, l)
+	return fastio.WriteStriped(r.FS, "k1", r.Codec(), r.Cfg.NFiles, l)
 }
 
 // Kernel2 implements Variant.
 func (csrVariant) Kernel2(r *Run) error {
-	l, err := fastio.ReadStriped(r.FS, "k1", fastio.TSV{})
+	l, err := fastio.ReadStriped(r.FS, "k1", r.Codec())
 	if err != nil {
 		return err
 	}

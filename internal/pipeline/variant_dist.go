@@ -80,12 +80,12 @@ func (distVariant) Kernel0(r *Run) error {
 	if err != nil {
 		return err
 	}
-	return fastio.WriteStriped(r.FS, "k0", fastio.TSV{}, r.Cfg.NFiles, l)
+	return fastio.WriteStriped(r.FS, "k0", r.Codec(), r.Cfg.NFiles, l)
 }
 
 // Kernel1 implements Variant.
 func (v distVariant) Kernel1(r *Run) error {
-	l, err := fastio.ReadStriped(r.FS, "k0", fastio.TSV{})
+	l, err := fastio.ReadStriped(r.FS, "k0", r.Codec())
 	if err != nil {
 		return err
 	}
@@ -104,12 +104,12 @@ func (v distVariant) Kernel1(r *Run) error {
 		r.AddComm(out.Sort.Comm)
 		l = out.Sort.Sorted
 	}
-	return fastio.WriteStriped(r.FS, "k1", fastio.TSV{}, r.Cfg.NFiles, l)
+	return fastio.WriteStriped(r.FS, "k1", r.Codec(), r.Cfg.NFiles, l)
 }
 
 // Kernel2 implements Variant.
 func (v distVariant) Kernel2(r *Run) error {
-	l, err := fastio.ReadStriped(r.FS, "k1", fastio.TSV{})
+	l, err := fastio.ReadStriped(r.FS, "k1", r.Codec())
 	if err != nil {
 		return err
 	}

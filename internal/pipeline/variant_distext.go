@@ -37,27 +37,35 @@ func (v distextVariant) Kernel1(r *Run) error {
 		// The distributed sort keys on the start vertex only; the (u,v)
 		// ablation falls back to the serial out-of-core external sort,
 		// which honors the same RunEdges memory bound.
-		src, err := fastio.NewStripedSource(r.FS, "k0", fastio.TSV{})
+		src, err := fastio.NewStripedSource(r.FS, "k0", r.Codec())
 		if err != nil {
 			return err
 		}
 		defer src.Close()
-		sink, err := fastio.NewStripedSink(r.FS, "k1", fastio.TSV{}, r.Cfg.NFiles, int64(r.Cfg.M()))
+		sink, err := fastio.NewStripedSink(r.FS, "k1", r.Codec(), r.Cfg.NFiles, int64(r.Cfg.M()))
 		if err != nil {
 			return err
 		}
-		if _, _, err := xsort.External(src, sink, xsort.ExternalConfig{
+		stats, err := xsort.External(src, sink, xsort.ExternalConfig{
 			FS:        r.FS,
 			TmpPrefix: "tmp/distsort",
 			RunEdges:  r.Cfg.RunEdges,
 			ByUV:      true,
-		}); err != nil {
+			Codec:     r.SpillCodec(),
+		})
+		if err != nil {
 			sink.Close()
 			return err
 		}
+		r.Spill = &SpillStats{
+			Codec:        stats.Codec,
+			Runs:         stats.Runs,
+			BytesWritten: stats.Spill.BytesWritten,
+			BytesRead:    stats.Spill.BytesRead,
+		}
 		return sink.Close()
 	}
-	l, err := fastio.ReadStriped(r.FS, "k0", fastio.TSV{})
+	l, err := fastio.ReadStriped(r.FS, "k0", r.Codec())
 	if err != nil {
 		return err
 	}
@@ -68,11 +76,22 @@ func (v distextVariant) Kernel1(r *Run) error {
 			FS:        r.FS,
 			RunEdges:  r.Cfg.RunEdges,
 			TmpPrefix: "tmp/distsort",
+			Codec:     r.SpillCodec(),
 		},
 	})
 	if err != nil {
 		return err
 	}
 	r.AddComm(out.ExtSort.Comm)
-	return fastio.WriteStriped(r.FS, "k1", fastio.TSV{}, r.Cfg.NFiles, out.ExtSort.Sorted)
+	runs := 0
+	for _, n := range out.ExtSort.RunsPerRank {
+		runs += n
+	}
+	r.Spill = &SpillStats{
+		Codec:        out.ExtSort.SpillCodec,
+		Runs:         runs,
+		BytesWritten: out.ExtSort.Spill.BytesWritten,
+		BytesRead:    out.ExtSort.Spill.BytesRead,
+	}
+	return fastio.WriteStriped(r.FS, "k1", r.Codec(), r.Cfg.NFiles, out.ExtSort.Sorted)
 }

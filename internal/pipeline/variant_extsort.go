@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"io"
 
+	"repro/internal/edge"
 	"repro/internal/fastio"
 	"repro/internal/kronecker"
 	"repro/internal/pagerank"
@@ -56,7 +57,7 @@ func (extsortVariant) runEdges(r *Run) int {
 // drawing from the service's cache would materialize (and then pin) the
 // full edge list, silently un-out-of-coring the out-of-core variant.
 func (extsortVariant) Kernel0(r *Run) error {
-	sink, err := fastio.NewStripedSink(r.FS, "k0", fastio.TSV{}, r.Cfg.NFiles, int64(r.Cfg.M()))
+	sink, err := fastio.NewStripedSink(r.FS, "k0", r.Codec(), r.Cfg.NFiles, int64(r.Cfg.M()))
 	if err != nil {
 		return err
 	}
@@ -80,11 +81,9 @@ func (extsortVariant) Kernel0(r *Run) error {
 			sink.Close()
 			return err
 		}
-		for i := 0; i < l.Len(); i++ {
-			if err := sink.WriteEdge(l.U[i], l.V[i]); err != nil {
-				sink.Close()
-				return err
-			}
+		if err := fastio.WriteEdges(sink, l, 0, l.Len()); err != nil {
+			sink.Close()
+			return err
 		}
 	}
 	return sink.Close()
@@ -92,31 +91,38 @@ func (extsortVariant) Kernel0(r *Run) error {
 
 // Kernel1 implements Variant.
 func (v extsortVariant) Kernel1(r *Run) error {
-	src, err := fastio.NewStripedSource(r.FS, "k0", fastio.TSV{})
+	src, err := fastio.NewStripedSource(r.FS, "k0", r.Codec())
 	if err != nil {
 		return err
 	}
 	defer src.Close()
-	sink, err := fastio.NewStripedSink(r.FS, "k1", fastio.TSV{}, r.Cfg.NFiles, int64(r.Cfg.M()))
+	sink, err := fastio.NewStripedSink(r.FS, "k1", r.Codec(), r.Cfg.NFiles, int64(r.Cfg.M()))
 	if err != nil {
 		return err
 	}
-	_, _, err = xsort.External(src, sink, xsort.ExternalConfig{
+	stats, err := xsort.External(src, sink, xsort.ExternalConfig{
 		FS:        r.FS,
 		TmpPrefix: "tmp/extsort",
 		RunEdges:  v.runEdges(r),
 		ByUV:      r.Cfg.SortEndVertices,
+		Codec:     r.SpillCodec(),
 	})
 	if err != nil {
 		sink.Close()
 		return err
+	}
+	r.Spill = &SpillStats{
+		Codec:        stats.Codec,
+		Runs:         stats.Runs,
+		BytesWritten: stats.Spill.BytesWritten,
+		BytesRead:    stats.Spill.BytesRead,
 	}
 	return sink.Close()
 }
 
 // Kernel2 implements Variant.
 func (extsortVariant) Kernel2(r *Run) error {
-	src, err := fastio.NewStripedSource(r.FS, "k1", fastio.TSV{})
+	src, err := fastio.NewStripedSource(r.FS, "k1", r.Codec())
 	if err != nil {
 		return err
 	}
@@ -126,19 +132,24 @@ func (extsortVariant) Kernel2(r *Run) error {
 	if err != nil {
 		return err
 	}
+	// Stream in bounded batches through the bulk read path; the builder
+	// consumes each batch and the buffer resets, so memory stays O(batch).
 	edges := 0
+	buf := edge.NewList(0)
 	for {
-		u, v, err := src.ReadEdge()
-		if err == io.EOF {
-			break
-		}
-		if err != nil {
+		buf.Reset()
+		if _, err := fastio.ReadEdges(src, buf, 8192); err != nil {
+			if err == io.EOF {
+				break
+			}
 			return err
 		}
-		if err := b.Add(u, v); err != nil {
-			return fmt.Errorf("kernel 2 stream: %w", err)
+		for i := 0; i < buf.Len(); i++ {
+			if err := b.Add(buf.U[i], buf.V[i]); err != nil {
+				return fmt.Errorf("kernel 2 stream: %w", err)
+			}
 		}
-		edges++
+		edges += buf.Len()
 	}
 	a := b.Finish()
 	r.MatrixMass = a.SumValues()

@@ -34,12 +34,12 @@ func (graphblasVariant) Kernel0(r *Run) error {
 	if err != nil {
 		return err
 	}
-	return fastio.WriteStriped(r.FS, "k0", fastio.TSV{}, r.Cfg.NFiles, l)
+	return fastio.WriteStriped(r.FS, "k0", r.Codec(), r.Cfg.NFiles, l)
 }
 
 // Kernel1 implements Variant.
 func (graphblasVariant) Kernel1(r *Run) error {
-	l, err := fastio.ReadStriped(r.FS, "k0", fastio.TSV{})
+	l, err := fastio.ReadStriped(r.FS, "k0", r.Codec())
 	if err != nil {
 		return err
 	}
@@ -48,7 +48,7 @@ func (graphblasVariant) Kernel1(r *Run) error {
 	} else {
 		xsort.RadixByU(l)
 	}
-	return fastio.WriteStriped(r.FS, "k1", fastio.TSV{}, r.Cfg.NFiles, l)
+	return fastio.WriteStriped(r.FS, "k1", r.Codec(), r.Cfg.NFiles, l)
 }
 
 // Kernel2 implements Variant.  Every step is a GraphBLAS primitive:
@@ -59,7 +59,7 @@ func (graphblasVariant) Kernel1(r *Run) error {
 //	dout = GrB_reduce(A, +, rows)            // out-degree
 //	A    = GrB_apply(A, v / dout[i])         // row normalization
 func (graphblasVariant) Kernel2(r *Run) error {
-	l, err := fastio.ReadStriped(r.FS, "k1", fastio.TSV{})
+	l, err := fastio.ReadStriped(r.FS, "k1", r.Codec())
 	if err != nil {
 		return err
 	}

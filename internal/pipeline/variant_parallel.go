@@ -68,12 +68,12 @@ func (v parallelVariant) Kernel0(r *Run) error {
 	if err != nil {
 		return err
 	}
-	return parallelWriteStriped(r.FS, "k0", r.Cfg.NFiles, l)
+	return parallelWriteStriped(r.FS, "k0", r.Codec(), r.Cfg.NFiles, l)
 }
 
 // Kernel1 implements Variant.
 func (v parallelVariant) Kernel1(r *Run) error {
-	l, err := parallelReadStriped(r.FS, "k0")
+	l, err := parallelReadStriped(r.FS, "k0", r.Codec())
 	if err != nil {
 		return err
 	}
@@ -82,12 +82,12 @@ func (v parallelVariant) Kernel1(r *Run) error {
 	} else {
 		xsort.ParallelByU(l, v.workers(r))
 	}
-	return parallelWriteStriped(r.FS, "k1", r.Cfg.NFiles, l)
+	return parallelWriteStriped(r.FS, "k1", r.Codec(), r.Cfg.NFiles, l)
 }
 
 // Kernel2 implements Variant.
 func (parallelVariant) Kernel2(r *Run) error {
-	l, err := parallelReadStriped(r.FS, "k1")
+	l, err := parallelReadStriped(r.FS, "k1", r.Codec())
 	if err != nil {
 		return err
 	}
@@ -120,7 +120,7 @@ func (v parallelVariant) Kernel3(r *Run) error {
 
 // parallelWriteStriped writes each stripe in its own goroutine, the
 // file-per-processor output pattern of parallel Graph500 generators.
-func parallelWriteStriped(fs vfs.FS, prefix string, nfiles int, l *edge.List) error {
+func parallelWriteStriped(fs vfs.FS, prefix string, codec fastio.Codec, nfiles int, l *edge.List) error {
 	if nfiles < 1 {
 		return fmt.Errorf("pipeline: nfiles = %d, want >= 1", nfiles)
 	}
@@ -133,7 +133,7 @@ func parallelWriteStriped(fs vfs.FS, prefix string, nfiles int, l *edge.List) er
 		wg.Add(1)
 		go func(i, lo, hi int) {
 			defer wg.Done()
-			errs[i] = writeStripeRange(fs, fastio.StripeName(prefix, fastio.TSV{}, i), l, lo, hi)
+			errs[i] = writeStripeRange(fs, fastio.StripeName(prefix, codec, i), codec, l, lo, hi)
 		}(i, lo, hi)
 	}
 	wg.Wait()
@@ -145,17 +145,15 @@ func parallelWriteStriped(fs vfs.FS, prefix string, nfiles int, l *edge.List) er
 	return nil
 }
 
-func writeStripeRange(fs vfs.FS, name string, l *edge.List, lo, hi int) error {
+func writeStripeRange(fs vfs.FS, name string, codec fastio.Codec, l *edge.List, lo, hi int) error {
 	w, err := fs.Create(name)
 	if err != nil {
 		return err
 	}
-	sink := fastio.TSV{}.NewWriter(w)
-	for i := lo; i < hi; i++ {
-		if err := sink.WriteEdge(l.U[i], l.V[i]); err != nil {
-			w.Close()
-			return err
-		}
+	sink := codec.NewWriter(w)
+	if err := fastio.WriteEdges(sink, l, lo, hi); err != nil {
+		w.Close()
+		return err
 	}
 	if err := sink.Flush(); err != nil {
 		w.Close()
@@ -166,8 +164,8 @@ func writeStripeRange(fs vfs.FS, name string, l *edge.List, lo, hi int) error {
 
 // parallelReadStriped reads every stripe concurrently into per-stripe lists
 // and concatenates them in stripe order.
-func parallelReadStriped(fs vfs.FS, prefix string) (*edge.List, error) {
-	names, err := fastio.StripeNames(fs, prefix, fastio.TSV{})
+func parallelReadStriped(fs vfs.FS, prefix string, codec fastio.Codec) (*edge.List, error) {
+	names, err := fastio.StripeNames(fs, prefix, codec)
 	if err != nil {
 		return nil, err
 	}
@@ -178,7 +176,7 @@ func parallelReadStriped(fs vfs.FS, prefix string) (*edge.List, error) {
 		wg.Add(1)
 		go func(i int, name string) {
 			defer wg.Done()
-			parts[i], errs[i] = readOneStripeList(fs, name)
+			parts[i], errs[i] = readOneStripeList(fs, name, codec)
 		}(i, name)
 	}
 	wg.Wait()
@@ -196,22 +194,23 @@ func parallelReadStriped(fs vfs.FS, prefix string) (*edge.List, error) {
 	return out, nil
 }
 
-func readOneStripeList(fs vfs.FS, name string) (*edge.List, error) {
+func readOneStripeList(fs vfs.FS, name string, codec fastio.Codec) (*edge.List, error) {
 	r, err := fs.Open(name)
 	if err != nil {
 		return nil, err
 	}
 	defer r.Close()
-	src := fastio.TSV{}.NewReader(r)
+	src := codec.NewReader(r)
 	l := edge.NewList(0)
 	for {
-		u, v, err := src.ReadEdge()
-		if err == io.EOF {
-			return l, nil
-		}
-		if err != nil {
+		if _, err := fastio.ReadEdges(src, l, readStripeChunk); err != nil {
+			if err == io.EOF {
+				return l, nil
+			}
 			return nil, err
 		}
-		l.Append(u, v)
 	}
 }
+
+// readStripeChunk is the bulk-read batch size of the parallel stripe reader.
+const readStripeChunk = 16 << 10

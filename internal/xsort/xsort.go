@@ -251,16 +251,21 @@ type ExternalConfig struct {
 	RunEdges int
 	// ByUV additionally orders equal-U edges by V.
 	ByUV bool
+	// Codec encodes the spilled run files; nil means fastio.Binary, the
+	// fixed-width record with exact 16 B/edge accounting.
+	Codec fastio.Codec
 }
 
 // DefaultRunEdges sorts 1 Mi edges (16 MiB) per run when unset.
 const DefaultRunEdges = 1 << 20
 
 // SpillRun stably sorts buf in place (by U, or by (U, V) when byUV) and
-// writes it to fs under name in the fixed-width binary codec.  It is the
-// run-formation step of the external sorters, exported because the
-// distributed out-of-core kernel 1 forms per-rank runs the same way.
-func SpillRun(fs vfs.FS, name string, buf *edge.List, byUV bool) error {
+// writes it to fs under name in the given codec.  It is the run-formation
+// step of the external sorters, exported because the distributed
+// out-of-core kernel 1 forms per-rank runs the same way.  Sorted runs are
+// the Packed codec's best case; the fixed-width Binary codec gives exact
+// 16 B/edge spill accounting.
+func SpillRun(fs vfs.FS, name string, codec fastio.Codec, buf *edge.List, byUV bool) error {
 	if byUV {
 		RadixByUV(buf)
 	} else {
@@ -270,12 +275,10 @@ func SpillRun(fs vfs.FS, name string, buf *edge.List, byUV bool) error {
 	if err != nil {
 		return err
 	}
-	sink := fastio.Binary{}.NewWriter(w)
-	for i := 0; i < buf.Len(); i++ {
-		if err := sink.WriteEdge(buf.U[i], buf.V[i]); err != nil {
-			w.Close()
-			return err
-		}
+	sink := codec.NewWriter(w)
+	if err := fastio.WriteEdges(sink, buf, 0, buf.Len()); err != nil {
+		w.Close()
+		return err
 	}
 	if err := sink.Flush(); err != nil {
 		w.Close()
@@ -284,10 +287,11 @@ func SpillRun(fs vfs.FS, name string, buf *edge.List, byUV bool) error {
 	return w.Close()
 }
 
-// OpenRuns opens the named binary run files on fs for merging, returning
-// one streaming source per name (in the given order) and a close-all
-// function.  On error the already-opened files are closed before return.
-func OpenRuns(fs vfs.FS, names []string) ([]fastio.EdgeSource, func(), error) {
+// OpenRuns opens the named run files on fs for merging, returning one
+// streaming source per name (in the given order, decoding with the given
+// codec) and a close-all function.  On error the already-opened files are
+// closed before return.
+func OpenRuns(fs vfs.FS, codec fastio.Codec, names []string) ([]fastio.EdgeSource, func(), error) {
 	sources := make([]fastio.EdgeSource, len(names))
 	closers := make([]io.Closer, 0, len(names))
 	closeAll := func() {
@@ -302,7 +306,7 @@ func OpenRuns(fs vfs.FS, names []string) ([]fastio.EdgeSource, func(), error) {
 			return nil, nil, err
 		}
 		closers = append(closers, r)
-		sources[i] = fastio.Binary{}.NewReader(r)
+		sources[i] = codec.NewReader(r)
 	}
 	return sources, closeAll, nil
 }
@@ -320,15 +324,32 @@ func RemoveRuns(fs vfs.FS, names []string) error {
 	return first
 }
 
+// ExternalStats reports what an External sort did: how many edges moved,
+// how many runs spilled, which codec encoded them, and the encoded byte
+// traffic of the spill files — so a cheaper spill codec shows up as
+// measured bytes, not an asserted constant.
+type ExternalStats struct {
+	// Edges is the number of edges sorted.
+	Edges int
+	// Runs is the number of sorted runs formed (1 for the in-memory fast
+	// path, which spills nothing).
+	Runs int
+	// Codec names the spill codec.
+	Codec string
+	// Spill counts the run files' encoded bytes: BytesWritten during run
+	// formation, BytesRead during the merge.  Both are zero on the
+	// single-run fast path.
+	Spill vfs.IOStats
+}
+
 // External sorts the edge stream src into dst using at most
 // cfg.RunEdges·16 bytes of in-memory edge storage, spilling sorted runs to
-// cfg.FS in the fixed-width binary codec and k-way merging them with a heap.
-// It returns the number of edges sorted and the number of runs spilled.
-// Run files are removed before return on success and failure alike, so an
-// aborted sort leaves no stripes behind.
-func External(src fastio.EdgeSource, dst fastio.EdgeSink, cfg ExternalConfig) (edges int, runs int, err error) {
+// cfg.FS in cfg.Codec (Binary by default) and k-way merging them with a
+// heap.  Run files are removed before return on success and failure alike,
+// so an aborted sort leaves no stripes behind.
+func External(src fastio.EdgeSource, dst fastio.EdgeSink, cfg ExternalConfig) (stats ExternalStats, err error) {
 	if cfg.FS == nil {
-		return 0, 0, fmt.Errorf("xsort: ExternalConfig.FS is nil")
+		return stats, fmt.Errorf("xsort: ExternalConfig.FS is nil")
 	}
 	if cfg.RunEdges <= 0 {
 		cfg.RunEdges = DefaultRunEdges
@@ -336,7 +357,16 @@ func External(src fastio.EdgeSource, dst fastio.EdgeSink, cfg ExternalConfig) (e
 	if cfg.TmpPrefix == "" {
 		cfg.TmpPrefix = "xsort-run"
 	}
-	codec := fastio.Binary{}
+	if cfg.Codec == nil {
+		cfg.Codec = fastio.Binary{}
+	}
+	stats.Codec = cfg.Codec.Name()
+	// Meter the spill traffic.  Only the run files flow through the
+	// wrapped FS — src and dst belong to the caller — so the stats are
+	// exactly the spill bytes.
+	meter := vfs.NewMetered(cfg.FS)
+	cfg.FS = meter
+	defer func() { stats.Spill = meter.Stats() }()
 
 	// Phase 1: produce sorted runs.  Whatever happens below, the spilled
 	// stripes are gone when External returns.
@@ -351,29 +381,30 @@ func External(src fastio.EdgeSource, dst fastio.EdgeSink, cfg ExternalConfig) (e
 		if buf.Len() == 0 {
 			return nil
 		}
-		name := fastio.StripeName(cfg.TmpPrefix, codec, len(runNames))
+		name := fastio.StripeName(cfg.TmpPrefix, cfg.Codec, len(runNames))
 		// Track the name before writing: a failed spill may still have
 		// created the file, and the deferred cleanup must catch it.
 		runNames = append(runNames, name)
-		if err := SpillRun(cfg.FS, name, buf, cfg.ByUV); err != nil {
+		if err := SpillRun(cfg.FS, name, cfg.Codec, buf, cfg.ByUV); err != nil {
 			return err
 		}
 		buf.Reset()
 		return nil
 	}
 	for {
-		u, v, rerr := src.ReadEdge()
+		n, rerr := fastio.ReadEdges(src, buf, cfg.RunEdges-buf.Len())
 		if rerr == io.EOF {
 			break
 		}
 		if rerr != nil {
-			return edges, len(runNames), rerr
+			stats.Runs = len(runNames)
+			return stats, rerr
 		}
-		buf.Append(u, v)
-		edges++
+		stats.Edges += n
 		if buf.Len() >= cfg.RunEdges {
 			if err := flushRun(); err != nil {
-				return edges, len(runNames), err
+				stats.Runs = len(runNames)
+				return stats, err
 			}
 		}
 	}
@@ -385,22 +416,23 @@ func External(src fastio.EdgeSource, dst fastio.EdgeSink, cfg ExternalConfig) (e
 		} else {
 			RadixByU(buf)
 		}
-		for i := 0; i < buf.Len(); i++ {
-			if err := dst.WriteEdge(buf.U[i], buf.V[i]); err != nil {
-				return edges, 0, err
-			}
+		stats.Runs = 1
+		if err := fastio.WriteEdges(dst, buf, 0, buf.Len()); err != nil {
+			return stats, err
 		}
-		return edges, 1, dst.Flush()
+		return stats, dst.Flush()
 	}
 	if err := flushRun(); err != nil {
-		return edges, len(runNames), err
+		stats.Runs = len(runNames)
+		return stats, err
 	}
+	stats.Runs = len(runNames)
 
 	// Phase 2: k-way merge.
 	if err := mergeSpilledRuns(cfg, runNames, dst); err != nil {
-		return edges, len(runNames), err
+		return stats, err
 	}
-	return edges, len(runNames), nil
+	return stats, nil
 }
 
 // mergeEntry is one head-of-run element in the merge heap.
@@ -436,7 +468,7 @@ func (h *mergeHeap) Pop() interface{} {
 }
 
 func mergeSpilledRuns(cfg ExternalConfig, runNames []string, dst fastio.EdgeSink) error {
-	sources, closeAll, err := OpenRuns(cfg.FS, runNames)
+	sources, closeAll, err := OpenRuns(cfg.FS, cfg.Codec, runNames)
 	if err != nil {
 		return err
 	}

@@ -150,15 +150,18 @@ func TestSignificantBytes(t *testing.T) {
 func TestExternalSingleRun(t *testing.T) {
 	l := randomList(6, 500, 1<<20)
 	out := edge.NewList(0)
-	edges, runs, err := External(fastio.NewListSource(l), fastio.NewListSink(out), ExternalConfig{
+	stats, err := External(fastio.NewListSource(l), fastio.NewListSink(out), ExternalConfig{
 		FS:       vfs.NewMem(),
 		RunEdges: 10000, // everything fits in one run
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if edges != 500 || runs != 1 {
-		t.Errorf("edges=%d runs=%d, want 500, 1", edges, runs)
+	if stats.Edges != 500 || stats.Runs != 1 {
+		t.Errorf("edges=%d runs=%d, want 500, 1", stats.Edges, stats.Runs)
+	}
+	if stats.Spill != (vfs.IOStats{}) {
+		t.Errorf("single-run fast path recorded spill traffic: %+v", stats.Spill)
 	}
 	if !out.IsSortedByU() || !out.SameMultiset(l) {
 		t.Error("single-run external sort incorrect")
@@ -169,7 +172,7 @@ func TestExternalMultiRun(t *testing.T) {
 	l := randomList(7, 5000, 1<<20)
 	fs := vfs.NewMem()
 	out := edge.NewList(0)
-	edges, runs, err := External(fastio.NewListSource(l), fastio.NewListSink(out), ExternalConfig{
+	stats, err := External(fastio.NewListSource(l), fastio.NewListSink(out), ExternalConfig{
 		FS:        fs,
 		RunEdges:  512, // force ~10 spill runs
 		TmpPrefix: "tmp/run",
@@ -177,11 +180,19 @@ func TestExternalMultiRun(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if edges != 5000 {
-		t.Errorf("edges = %d", edges)
+	if stats.Edges != 5000 {
+		t.Errorf("edges = %d", stats.Edges)
 	}
-	if runs < 9 {
-		t.Errorf("runs = %d, want ~10", runs)
+	if stats.Runs < 9 {
+		t.Errorf("runs = %d, want ~10", stats.Runs)
+	}
+	if stats.Codec != "bin" {
+		t.Errorf("default spill codec = %q, want bin", stats.Codec)
+	}
+	// Fixed-width spill accounting: every edge is written once and read
+	// back once at exactly 16 bytes.
+	if stats.Spill.BytesWritten != 16*5000 || stats.Spill.BytesRead != 16*5000 {
+		t.Errorf("spill bytes = %+v, want 80000 both ways", stats.Spill)
 	}
 	if !out.IsSortedByU() {
 		t.Error("multi-run output not sorted")
@@ -228,7 +239,7 @@ func TestExternalFailureLeavesNoRunFiles(t *testing.T) {
 	for name, tc := range cases {
 		t.Run(name, func(t *testing.T) {
 			mem := vfs.NewMem()
-			_, _, err := External(fastio.NewListSource(l), tc.sink, ExternalConfig{
+			_, err := External(fastio.NewListSource(l), tc.sink, ExternalConfig{
 				FS:        vfs.NewFaulty(mem, tc.budget),
 				RunEdges:  512,
 				TmpPrefix: "tmp/extsort",
@@ -254,7 +265,7 @@ func TestSpillRunAndOpenRunsRoundTrip(t *testing.T) {
 	a := randomList(12, 300, 1<<10)
 	b := randomList(13, 200, 1<<10)
 	for i, l := range []*edge.List{a, b} {
-		if err := SpillRun(fs, fastio.StripeName("runs", fastio.Binary{}, i), l, false); err != nil {
+		if err := SpillRun(fs, fastio.StripeName("runs", fastio.Binary{}, i), fastio.Binary{}, l, false); err != nil {
 			t.Fatal(err)
 		}
 		if !l.IsSortedByU() {
@@ -265,7 +276,7 @@ func TestSpillRunAndOpenRunsRoundTrip(t *testing.T) {
 		fastio.StripeName("runs", fastio.Binary{}, 0),
 		fastio.StripeName("runs", fastio.Binary{}, 1),
 	}
-	sources, closeAll, err := OpenRuns(fs, names)
+	sources, closeAll, err := OpenRuns(fs, fastio.Binary{}, names)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -344,7 +355,7 @@ func TestMergeListsStable(t *testing.T) {
 func TestExternalByUV(t *testing.T) {
 	l := randomList(8, 3000, 32)
 	out := edge.NewList(0)
-	_, _, err := External(fastio.NewListSource(l), fastio.NewListSink(out), ExternalConfig{
+	_, err := External(fastio.NewListSource(l), fastio.NewListSink(out), ExternalConfig{
 		FS:       vfs.NewMem(),
 		RunEdges: 256,
 		ByUV:     true,
@@ -362,17 +373,17 @@ func TestExternalByUV(t *testing.T) {
 
 func TestExternalEmptyInput(t *testing.T) {
 	out := edge.NewList(0)
-	edges, runs, err := External(fastio.NewListSource(edge.NewList(0)), fastio.NewListSink(out), ExternalConfig{FS: vfs.NewMem()})
+	stats, err := External(fastio.NewListSource(edge.NewList(0)), fastio.NewListSink(out), ExternalConfig{FS: vfs.NewMem()})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if edges != 0 || out.Len() != 0 {
-		t.Errorf("empty input: edges=%d out=%d runs=%d", edges, out.Len(), runs)
+	if stats.Edges != 0 || out.Len() != 0 {
+		t.Errorf("empty input: edges=%d out=%d runs=%d", stats.Edges, out.Len(), stats.Runs)
 	}
 }
 
 func TestExternalNilFS(t *testing.T) {
-	_, _, err := External(fastio.NewListSource(edge.NewList(0)), fastio.NewListSink(edge.NewList(0)), ExternalConfig{})
+	_, err := External(fastio.NewListSource(edge.NewList(0)), fastio.NewListSink(edge.NewList(0)), ExternalConfig{})
 	if err == nil {
 		t.Error("nil FS accepted")
 	}
@@ -385,7 +396,7 @@ func TestExternalMatchesInMemory(t *testing.T) {
 	mem := l.Clone()
 	ByUStable(mem)
 	out := edge.NewList(0)
-	_, _, err := External(fastio.NewListSource(l), fastio.NewListSink(out), ExternalConfig{
+	_, err := External(fastio.NewListSource(l), fastio.NewListSink(out), ExternalConfig{
 		FS:       vfs.NewMem(),
 		RunEdges: 300,
 	})
