@@ -40,6 +40,18 @@
 //	prbench -scale 16 -variant extsort -format bin
 //	prbench -scale 16 -variant extsort -runedges 65536 -formatsweep
 //
+// Checkpoint/restart of the distributed kernel 3 (-checkpoint-every
+// writes an epoch to storage every N iterations), with an optional
+// injected rank failure: kill a rank mid-run, resume from the newest
+// complete epoch, and cross-check the final ranks bit for bit against
+// the uninterrupted baseline (DESIGN.md §10).  "RANK@ITER@ckpt" moves
+// the kill between the chunk write and the commit, manufacturing the
+// torn epoch the loader must skip:
+//
+//	prbench -scale 14 -variant distgo -checkpoint-every 3
+//	prbench -scale 14 -variant distgo -checkpoint-every 3 -inject-fault 1@7
+//	prbench -scale 14 -variant distgo -checkpoint-every 3 -inject-fault 1@6@ckpt
+//
 // Machine-readable output for the perf trajectory (single pipeline runs;
 // schema documented in the README, archived as BENCH_*.json by CI):
 //
@@ -53,6 +65,7 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -98,6 +111,9 @@ func main() {
 		predict     = flag.Bool("predict", false, "print hardware-model predictions and exit")
 		format      = flag.String("format", "", "edge-file format: tsv, naivetsv, bin, packed (default: variant's)")
 		formatSweep = flag.Bool("formatsweep", false, "run the kernel-1 edge-file format ablation (K1 edges/s per format) and exit")
+		ckptEvery   = flag.Int("checkpoint-every", 0, "checkpoint the distributed kernel 3 every N iterations and report the overhead against an uncheckpointed baseline (dist variants)")
+		ckptDir     = flag.String("checkpoint-dir", "", "durable storage directory for -checkpoint-every epochs (empty = in-memory)")
+		injectFault = flag.String("inject-fault", "", `kill a rank mid-kernel-3 and resume: "RANK@ITER" fires after ITER completed iterations, "RANK@ITER@ckpt" fires during the epoch write (requires -checkpoint-every)`)
 		output      = flag.String("output", "table", "output format: table, csv, markdown")
 		jsonOut     = flag.Bool("json", false, "emit a machine-readable prbench/v2 JSON report (single pipeline runs; schema in README)")
 		ascii       = flag.Bool("ascii", true, "sweep: also draw ASCII log-log plots")
@@ -119,6 +135,12 @@ func main() {
 	}
 	if *jsonOut && (*predict || *procSweep != "" || *procs > 0) {
 		fatal(fmt.Errorf("-json reports single pipeline runs; drop -predict/-procsweep/-procs"))
+	}
+	if *injectFault != "" && *ckptEvery <= 0 {
+		fatal(fmt.Errorf("-inject-fault needs -checkpoint-every: without epochs there is nothing to resume from"))
+	}
+	if *ckptEvery > 0 && (*sweep || *formatSweep || *procSweep != "" || *procs > 0 || *predict || *jsonOut) {
+		fatal(fmt.Errorf("-checkpoint-every reports single pipeline runs; drop -sweep/-formatsweep/-procsweep/-procs/-predict/-json"))
 	}
 	if *predict {
 		printPredictions(*scale, *output)
@@ -185,6 +207,12 @@ func main() {
 			fatal(err)
 		}
 		cfg.FS = fsys
+	}
+	if *ckptEvery > 0 {
+		if err := runCheckpointed(ctx, svc, cfg, *ckptEvery, *injectFault, *ckptDir); err != nil {
+			fatal(err)
+		}
+		return
 	}
 	ks, err := parseKernels(*kernels)
 	if err != nil {
@@ -508,6 +536,130 @@ func runFormatSweep(ctx context.Context, svc *core.Service, scale, edgeFactor in
 	}
 	emit(t, output)
 	fmt.Println("cross-check: final rank vectors bit-for-bit identical across formats")
+	return nil
+}
+
+// parseFault parses the -inject-fault spec: "RANK@ITER" kills RANK at
+// the boundary after ITER completed kernel-3 iterations; a trailing
+// "@ckpt" moves the kill between the rank's chunk write and the epoch
+// commit, leaving the torn epoch the resume must skip.
+func parseFault(s string) (*core.FaultPlan, error) {
+	parts := strings.Split(s, "@")
+	if len(parts) != 2 && len(parts) != 3 {
+		return nil, fmt.Errorf(`bad -inject-fault %q (want "RANK@ITER" or "RANK@ITER@ckpt")`, s)
+	}
+	rank, err1 := strconv.Atoi(parts[0])
+	iter, err2 := strconv.Atoi(parts[1])
+	if err1 != nil || err2 != nil {
+		return nil, fmt.Errorf(`bad -inject-fault %q (want "RANK@ITER" or "RANK@ITER@ckpt")`, s)
+	}
+	f := &core.FaultPlan{KillRank: rank, AtIteration: iter}
+	if len(parts) == 3 {
+		if parts[2] != "ckpt" {
+			return nil, fmt.Errorf(`bad -inject-fault suffix %q (only "ckpt")`, parts[2])
+		}
+		f.DuringCheckpoint = true
+	}
+	return f, nil
+}
+
+// k3Seconds extracts the kernel-3 wall clock from a pipeline result.
+func k3Seconds(res *core.Result) float64 {
+	for _, k := range res.Kernels {
+		if k.Kernel == core.K3PageRank {
+			return k.Seconds
+		}
+	}
+	return 0
+}
+
+// runCheckpointed is the checkpoint/restart demonstration: a baseline
+// run without checkpointing, then the same configuration writing an
+// epoch every N iterations — optionally killed mid-run by the fault
+// plan and resumed from the newest complete epoch — with the final
+// ranks cross-checked bit for bit against the baseline and the storage
+// traffic metered, so the checkpoint overhead is a measured number next
+// to the recovery proof.
+func runCheckpointed(ctx context.Context, svc *core.Service, cfg core.Config, every int, faultSpec, dir string) error {
+	cfg.KeepRank = true
+	base, err := svc.Run(ctx, cfg)
+	if err != nil {
+		return fmt.Errorf("baseline run: %w", err)
+	}
+	baseK3 := k3Seconds(base)
+	iters := base.RankIterations
+
+	var store vfs.FS = vfs.NewMem()
+	if dir != "" {
+		d, err := vfs.NewDir(dir)
+		if err != nil {
+			return err
+		}
+		store = d
+	}
+	meter := vfs.NewMetered(store)
+	var saved []int64
+	ck := cfg
+	ck.Checkpoint = core.CheckpointSpec{
+		FS: meter, Every: every, Resume: true,
+		OnCommit: func(epoch int64) { saved = append(saved, epoch) },
+	}
+	fmt.Printf("checkpointed distributed kernel 3: scale %d, variant %s, epoch every %d of %d iterations\n",
+		cfg.Scale, cfg.Variant, every, iters)
+	fmt.Printf("  baseline kernel-3:  %.4fs (no checkpointing)\n", baseK3)
+
+	if faultSpec != "" {
+		fault, err := parseFault(faultSpec)
+		if err != nil {
+			return err
+		}
+		killed := ck
+		killed.Fault = fault
+		if _, err := svc.Run(ctx, killed); !errors.Is(err, core.ErrFaultInjected) {
+			return fmt.Errorf("fault run: got %v, want %v", err, core.ErrFaultInjected)
+		}
+		when := fmt.Sprintf("after iteration %d", fault.AtIteration)
+		if fault.DuringCheckpoint {
+			when = fmt.Sprintf("during the epoch-%d checkpoint write (torn epoch)", fault.AtIteration)
+		}
+		fmt.Printf("  injected fault:     rank %d killed %s\n", fault.KillRank, when)
+		newest := int64(0)
+		if len(saved) > 0 {
+			newest = saved[len(saved)-1]
+		}
+		fmt.Printf("  epochs before kill: %d (newest complete at iteration %d)\n", len(saved), newest)
+	}
+
+	res, err := svc.Run(ctx, ck) // fault-free: completes, resuming if epochs exist
+	if err != nil {
+		return fmt.Errorf("checkpointed run: %w", err)
+	}
+	st := res.Checkpoint
+	if st == nil {
+		return fmt.Errorf("checkpointed run reported no checkpoint stats")
+	}
+	if st.Resumed {
+		fmt.Printf("  resume:             from epoch %d, re-ran %d of %d iterations (%d torn epoch(s) skipped)\n",
+			st.ResumedFrom, int64(iters)-st.ResumedFrom, iters, st.TornSkipped)
+	}
+	ckK3 := k3Seconds(res)
+	if st.Resumed {
+		fmt.Printf("  resumed kernel-3:   %.4fs\n", ckK3)
+	} else {
+		fmt.Printf("  checkpointed K3:    %.4fs (%+.1f%% over baseline)\n", ckK3, 100*(ckK3-baseK3)/baseK3)
+	}
+	iost := meter.Stats()
+	fmt.Printf("  checkpoint storage: %d epoch(s) committed, %d bytes written, %d read back\n",
+		len(saved), iost.BytesWritten, iost.BytesRead)
+	if len(base.Rank) != len(res.Rank) {
+		return fmt.Errorf("cross-check failed: rank vector lengths differ")
+	}
+	for i := range base.Rank {
+		if base.Rank[i] != res.Rank[i] {
+			return fmt.Errorf("cross-check failed: rank vectors differ at %d after recovery", i)
+		}
+	}
+	fmt.Println("  cross-check:        final ranks bit-for-bit equal to the uncheckpointed run")
 	return nil
 }
 

@@ -100,11 +100,13 @@ type Event = serve.Event
 
 // The streaming event kinds.
 const (
-	EventRunStarted  = serve.EventRunStarted
-	EventKernelStart = serve.EventKernelStart
-	EventKernelEnd   = serve.EventKernelEnd
-	EventIteration   = serve.EventIteration
-	EventRunEnd      = serve.EventRunEnd
+	EventRunStarted         = serve.EventRunStarted
+	EventKernelStart        = serve.EventKernelStart
+	EventKernelEnd          = serve.EventKernelEnd
+	EventIteration          = serve.EventIteration
+	EventRunEnd             = serve.EventRunEnd
+	EventCheckpointSaved    = serve.EventCheckpointSaved
+	EventCheckpointRestored = serve.EventCheckpointRestored
 )
 
 // NewService constructs the long-lived Service.  The default admits
@@ -120,16 +122,43 @@ func WithCacheCapacity(n int) ServiceOption { return serve.WithCacheCapacity(n) 
 // WithKernels restricts a Service run to the listed kernels.
 func WithKernels(ks ...Kernel) RunOption { return serve.WithKernels(ks...) }
 
+// WithResumeKey checkpoints the run's distributed kernel 3 under key in
+// the Service's checkpoint storage and resumes from the newest complete
+// epoch there — rerun an interrupted configuration under the same key
+// to continue it.  See serve.WithResumeKey.
+func WithResumeKey(key string) RunOption { return serve.WithResumeKey(key) }
+
+// WithCheckpointStorage sets the storage resume-keyed runs checkpoint
+// to (default: an in-memory store living as long as the Service).
+func WithCheckpointStorage(fs vfs.FS) ServiceOption { return serve.WithCheckpointStorage(fs) }
+
 // PipelineEvent is the synchronous in-run progress observation delivered
 // to WithProgress callbacks (RunStream is its channel-shaped form).
 type PipelineEvent = pipeline.Event
 
 // The pipeline-level event kinds.
 const (
-	EventPipelineKernelStart = pipeline.EventKernelStart
-	EventPipelineKernelEnd   = pipeline.EventKernelEnd
-	EventPipelineIteration   = pipeline.EventIteration
+	EventPipelineKernelStart        = pipeline.EventKernelStart
+	EventPipelineKernelEnd          = pipeline.EventKernelEnd
+	EventPipelineIteration          = pipeline.EventIteration
+	EventPipelineCheckpointSaved    = pipeline.EventCheckpointSaved
+	EventPipelineCheckpointRestored = pipeline.EventCheckpointRestored
 )
+
+// CheckpointSpec configures epoch checkpoint/restart of the distributed
+// kernel 3 (Config.Checkpoint).  See dist.CheckpointSpec.
+type CheckpointSpec = dist.CheckpointSpec
+
+// CheckpointStats is a run's checkpoint/restart record
+// (Result.Checkpoint).  See dist.CheckpointStats.
+type CheckpointStats = dist.CheckpointStats
+
+// FaultPlan injects a rank failure into the distributed kernel 3
+// (Config.Fault) — the chaos suites' instrument.  See dist.FaultPlan.
+type FaultPlan = dist.FaultPlan
+
+// ErrFaultInjected is the failure a FaultPlan's killed rank reports.
+var ErrFaultInjected = dist.ErrFaultInjected
 
 // WithProgress attaches a synchronous observer to a Service run.
 func WithProgress(fn func(PipelineEvent)) RunOption { return serve.WithProgress(fn) }

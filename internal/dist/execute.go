@@ -87,6 +87,14 @@ type Spec struct {
 	PageRank pagerank.Options
 	// Ext carries the out-of-core sort's knobs (OpSortExternal).
 	Ext ExtSortConfig
+	// Checkpoint configures epoch checkpoint/restart of the kernel-3
+	// iteration (OpRun and OpRunMatrix; see CheckpointSpec).  The zero
+	// value disables it.
+	Checkpoint CheckpointSpec
+	// Fault, when non-nil, injects a rank failure into the kernel-3
+	// iteration (OpRun and OpRunMatrix; see FaultPlan) — the chaos
+	// suite's instrument.
+	Fault *FaultPlan
 }
 
 // Outcome is the result of one Execute: exactly one field is non-nil,
@@ -100,6 +108,18 @@ type Outcome struct {
 	Sort *SortResult
 	// ExtSort is OpSortExternal's result.
 	ExtSort *ExtSortResult
+}
+
+// specN resolves the global vertex count of a kernel-3 spec: the
+// explicit N for OpRun, the matrix dimension for OpRunMatrix.
+func specN(spec Spec) int {
+	if spec.Op == OpRunMatrix {
+		if spec.Matrix == nil {
+			return 0
+		}
+		return spec.Matrix.N
+	}
+	return spec.N
 }
 
 // Execute runs one distributed program under ctx.  Cancelling the
@@ -121,30 +141,55 @@ func Execute(ctx context.Context, spec Spec) (*Outcome, error) {
 	default:
 		return nil, fmt.Errorf("dist: unknown execution mode %v", spec.Mode)
 	}
+	if spec.Op != OpRun && spec.Op != OpRunMatrix {
+		if spec.Checkpoint.enabled() {
+			return nil, fmt.Errorf("dist: checkpointing applies to the kernel-3 ops, not %v", spec.Op)
+		}
+		if spec.Fault != nil {
+			return nil, fmt.Errorf("dist: fault injection applies to the kernel-3 ops, not %v", spec.Op)
+		}
+	}
 	switch spec.Op {
 	case OpRun:
+		ck, done, err := prepareCheckpoint(&spec, specN(spec))
+		if err != nil {
+			return nil, err
+		}
+		if done != nil {
+			return &Outcome{Run: done}, nil
+		}
 		var res *Result
-		var err error
 		if spec.Mode == ExecSim {
-			res, err = runSim(ctx, spec.Config, spec.Edges, spec.N, spec.Procs, spec.PageRank)
+			res, err = runSim(ctx, spec.Config, spec.Edges, spec.N, spec.Procs, spec.PageRank, ck)
 		} else {
-			res, err = runGoroutine(ctx, spec.Config, spec.Edges, spec.N, spec.Procs, spec.PageRank)
+			res, err = runGoroutine(ctx, spec.Config, spec.Edges, spec.N, spec.Procs, spec.PageRank, ck)
 		}
 		if err != nil {
 			return nil, err
 		}
+		ck.finish(res)
 		return &Outcome{Run: res}, nil
 	case OpRunMatrix:
+		ck, done, err := prepareCheckpoint(&spec, specN(spec))
+		if err != nil {
+			return nil, err
+		}
+		if done != nil {
+			if spec.Matrix != nil {
+				done.NNZ = spec.Matrix.NNZ()
+			}
+			return &Outcome{Run: done}, nil
+		}
 		var res *Result
-		var err error
 		if spec.Mode == ExecSim {
-			res, err = runMatrixSim(ctx, spec.Config, spec.Matrix, spec.Procs, spec.PageRank)
+			res, err = runMatrixSim(ctx, spec.Config, spec.Matrix, spec.Procs, spec.PageRank, ck)
 		} else {
-			res, err = runMatrixGoroutine(ctx, spec.Config, spec.Matrix, spec.Procs, spec.PageRank)
+			res, err = runMatrixGoroutine(ctx, spec.Config, spec.Matrix, spec.Procs, spec.PageRank, ck)
 		}
 		if err != nil {
 			return nil, err
 		}
+		ck.finish(res)
 		return &Outcome{Run: res}, nil
 	case OpBuildFiltered:
 		var res *BuildResult

@@ -146,7 +146,7 @@ func RunMatrixCfg(cfg Config, a *sparse.CSR, p int, opt pagerank.Options) (*Resu
 }
 
 // runMatrixGoroutine is the concurrent execution of RunMatrix's schedule.
-func runMatrixGoroutine(ctx context.Context, cfg Config, a *sparse.CSR, p int, opt pagerank.Options) (*Result, error) {
+func runMatrixGoroutine(ctx context.Context, cfg Config, a *sparse.CSR, p int, opt pagerank.Options, ck *ckptRun) (*Result, error) {
 	if a == nil {
 		return nil, fmt.Errorf("dist: RunMatrix of nil matrix")
 	}
@@ -155,7 +155,7 @@ func runMatrixGoroutine(ctx context.Context, cfg Config, a *sparse.CSR, p int, o
 	}
 	states := splitMatrix(a, p)
 	out, err := spawnRanks(ctx, p, func(c *rankComm) rankOutcome {
-		rank, iters, err := iterateRank(ctx, c, states[c.rank], a.N, opt, cfg.workers())
+		rank, iters, err := iterateRank(ctx, c, states[c.rank], a.N, opt, cfg.workers(), ck)
 		return rankOutcome{rank: rank, iters: iters, err: err}
 	})
 	if err != nil {
@@ -297,13 +297,13 @@ func spawnRanks(ctx context.Context, p int, program func(c *rankComm) rankOutcom
 }
 
 // runGoroutine is the concurrent execution of Run's schedule.
-func runGoroutine(ctx context.Context, cfg Config, l *edge.List, n, p int, opt pagerank.Options) (*Result, error) {
+func runGoroutine(ctx context.Context, cfg Config, l *edge.List, n, p int, opt pagerank.Options, ck *ckptRun) (*Result, error) {
 	if err := validateRun(l, n, p); err != nil {
 		return nil, err
 	}
 	out, err := spawnRanks(ctx, p, func(c *rankComm) rankOutcome {
 		st, mass, nnz := buildRank(c, l, n)
-		rank, iters, err := iterateRank(ctx, c, st, n, opt, cfg.workers())
+		rank, iters, err := iterateRank(ctx, c, st, n, opt, cfg.workers(), ck)
 		return rankOutcome{st: st, rank: rank, iters: iters, mass: mass, nnz: nnz, err: err}
 	})
 	if err != nil {
@@ -389,7 +389,13 @@ func buildRank(c *rankComm, l *edge.List, n int) (*rankState, float64, int) {
 // under any peer still blocked in that iteration's collective, so the
 // whole team unwinds promptly (DESIGN.md §8).  The hybrid team's close
 // is deferred and runs on every exit path, unwinding included.
-func iterateRank(ctx context.Context, c *rankComm, st *rankState, n int, opt pagerank.Options, workers int) ([]float64, int, error) {
+//
+// The checkpoint runtime (ck, may be nil) installs the rank's
+// post-iteration hook: at every epoch boundary the rank writes its own
+// block chunk, agrees with its peers that all chunks landed, and rank 0
+// commits the epoch — plus the planned rank failure, if any
+// (checkpoint.go documents the protocol and the fault semantics).
+func iterateRank(ctx context.Context, c *rankComm, st *rankState, n int, opt pagerank.Options, workers int, ck *ckptRun) ([]float64, int, error) {
 	if c.rank != 0 {
 		// Progress is a single-observer hook: the replicas step in
 		// lockstep, so rank 0 reports for the team.
@@ -419,7 +425,7 @@ func iterateRank(ctx context.Context, c *rankComm, st *rankState, n int, opt pag
 	if err != nil {
 		return nil, 0, err
 	}
-	res, err := e.RunContext(ctx)
+	res, err := e.RunContextAfter(ctx, ck.afterRank(c, st.blk.lo, st.blk.hi))
 	if err != nil {
 		return nil, 0, err
 	}

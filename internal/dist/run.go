@@ -41,6 +41,9 @@ type Result struct {
 	// thread, where per-rank wall-clock is meaningless); perfmodel's
 	// CompareRankElapsed relates it to the parallel hardware model.
 	RankSeconds []float64
+	// Checkpoint reports what the checkpoint/restart machinery did; nil
+	// when the Spec enabled neither checkpointing nor resume.
+	Checkpoint *CheckpointStats
 }
 
 // BuildResult is the outcome of the distributed kernel 2 alone.
@@ -81,13 +84,13 @@ func Run(l *edge.List, n, p int, opt pagerank.Options) (*Result, error) {
 }
 
 // runSim is the simulated execution of Run's schedule under cfg.
-func runSim(ctx context.Context, cfg Config, l *edge.List, n, p int, opt pagerank.Options) (*Result, error) {
+func runSim(ctx context.Context, cfg Config, l *edge.List, n, p int, opt pagerank.Options, ck *ckptRun) (*Result, error) {
 	c := &comm{p: p}
 	states, _, nnz, err := buildFiltered(ctx, l, n, p, c)
 	if err != nil {
 		return nil, err
 	}
-	rank, iters, err := iterate(ctx, states, n, opt, c, cfg.workers())
+	rank, iters, err := iterate(ctx, states, n, opt, c, cfg.workers(), ck)
 	if err != nil {
 		return nil, err
 	}
@@ -106,7 +109,7 @@ func RunMatrix(a *sparse.CSR, p int, opt pagerank.Options) (*Result, error) {
 
 // runMatrixSim is the simulated execution of RunMatrix's schedule under
 // cfg.
-func runMatrixSim(ctx context.Context, cfg Config, a *sparse.CSR, p int, opt pagerank.Options) (*Result, error) {
+func runMatrixSim(ctx context.Context, cfg Config, a *sparse.CSR, p int, opt pagerank.Options, ck *ckptRun) (*Result, error) {
 	if a == nil {
 		return nil, fmt.Errorf("dist: RunMatrix of nil matrix")
 	}
@@ -115,7 +118,7 @@ func runMatrixSim(ctx context.Context, cfg Config, a *sparse.CSR, p int, opt pag
 	}
 	states := splitMatrix(a, p)
 	c := &comm{p: p}
-	rank, iters, err := iterate(ctx, states, a.N, opt, c, cfg.workers())
+	rank, iters, err := iterate(ctx, states, a.N, opt, c, cfg.workers(), ck)
 	if err != nil {
 		return nil, err
 	}
@@ -329,8 +332,11 @@ func danglingMassOf(st *rankState, r []float64) float64 {
 // changes wall clock but — by the §7 transpose-once construction — not a
 // single bit of the result.  The engine is driven through RunContext, so
 // a cancelled ctx aborts between iterations; the deferred team closes
-// run on that path too.
-func iterate(ctx context.Context, states []*rankState, n int, opt pagerank.Options, c *comm, workers int) ([]float64, int, error) {
+// run on that path too.  The checkpoint runtime (ck, may be nil) hangs
+// off the engine's post-iteration hook: the single simulated driver
+// writes every rank's chunk and the commit itself, unmetered — epoch
+// I/O is storage traffic, not the data plane CommStats prices.
+func iterate(ctx context.Context, states []*rankState, n int, opt pagerank.Options, c *comm, workers int, ck *ckptRun) ([]float64, int, error) {
 	partials := make([][]float64, len(states))
 	for i := range partials {
 		partials[i] = make([]float64, n)
@@ -361,7 +367,7 @@ func iterate(ctx context.Context, states []*rankState, n int, opt pagerank.Optio
 	if err != nil {
 		return nil, 0, err
 	}
-	res, err := e.RunContext(ctx)
+	res, err := e.RunContextAfter(ctx, ck.afterSim(states))
 	if err != nil {
 		return nil, 0, err
 	}

@@ -172,6 +172,18 @@ func (e *Engine) Run() *Result {
 // it exactly Run — the check costs one nil comparison per iteration — so
 // results are bit-for-bit identical between the two forms.
 func (e *Engine) RunContext(ctx context.Context) (*Result, error) {
+	return e.RunContextAfter(ctx, nil)
+}
+
+// RunContextAfter is RunContext with a post-iteration hook: after every
+// completed update step, after is called with the number of steps
+// performed so far and the current rank vector (aliasing engine state —
+// it must not be retained or modified), before the tolerance check, so
+// the hook observes every iterate including a final tolerance-stopped
+// one.  A non-nil error from the hook aborts the run with that error.
+// The distributed runtime's checkpoint writer lives in this hook; a nil
+// hook makes RunContextAfter exactly RunContext.
+func (e *Engine) RunContextAfter(ctx context.Context, after func(it int, r []float64) error) (*Result, error) {
 	done := ctx.Done()
 	for e.it < e.iters {
 		if done != nil {
@@ -180,6 +192,11 @@ func (e *Engine) RunContext(ctx context.Context) (*Result, error) {
 			}
 		}
 		diff := e.Iterate()
+		if after != nil {
+			if err := after(e.it, e.r); err != nil {
+				return nil, err
+			}
+		}
 		if e.tol > 0 && diff < e.tol {
 			break
 		}

@@ -40,31 +40,42 @@ type Checkpoint struct {
 
 var stateMagic = [4]byte{'P', 'R', 'S', '1'}
 
-// Save writes the checkpoint under name in fs.
+// Save writes the checkpoint under name in fs.  Each file is written to
+// a temporary name and renamed into place only when complete, so a crash
+// mid-save can leave stray ".tmp" files but never a truncated
+// checkpoint under the final names; an existing checkpoint is replaced
+// only by a complete new one.
 func Save(fs vfs.FS, name string, cp *Checkpoint) error {
 	if cp.Matrix == nil || len(cp.Rank) != cp.Matrix.N {
 		return fmt.Errorf("pipeline: malformed checkpoint (matrix %v, rank %d)", cp.Matrix != nil, len(cp.Rank))
 	}
-	mw, err := fs.Create(name + ".matrix")
+	if err := saveFile(fs, name+".matrix", func(w io.Writer) error {
+		_, err := cp.Matrix.WriteTo(w)
+		return err
+	}); err != nil {
+		return err
+	}
+	return saveFile(fs, name+".state", func(w io.Writer) error {
+		return writeState(w, cp)
+	})
+}
+
+// saveFile writes one checkpoint file atomically: temp name, full write,
+// close, rename.
+func saveFile(fs vfs.FS, name string, write func(io.Writer) error) error {
+	tmp := name + ".tmp"
+	w, err := fs.Create(tmp)
 	if err != nil {
 		return err
 	}
-	if _, err := cp.Matrix.WriteTo(mw); err != nil {
-		mw.Close()
+	if err := write(w); err != nil {
+		w.Close()
 		return err
 	}
-	if err := mw.Close(); err != nil {
+	if err := w.Close(); err != nil {
 		return err
 	}
-	sw, err := fs.Create(name + ".state")
-	if err != nil {
-		return err
-	}
-	if err := writeState(sw, cp); err != nil {
-		sw.Close()
-		return err
-	}
-	return sw.Close()
+	return fs.Rename(tmp, name)
 }
 
 func writeState(w io.Writer, cp *Checkpoint) error {
@@ -121,15 +132,17 @@ func Load(fs vfs.FS, name string) (*Checkpoint, error) {
 func readState(r io.Reader) (*Checkpoint, error) {
 	crc := crc32.NewIEEE()
 	br := bufio.NewReaderSize(r, 64<<10)
-	read := func(n int) ([]byte, error) {
+	// Every short read names the section it truncated — a cut-off state
+	// file must produce a diagnosis, not a bare unexpected-EOF.
+	read := func(n int, what string) ([]byte, error) {
 		buf := make([]byte, n)
-		if _, err := io.ReadFull(br, buf); err != nil {
-			return nil, err
+		if m, err := io.ReadFull(br, buf); err != nil {
+			return nil, fmt.Errorf("truncated %s: got %d of %d bytes: %w", what, m, n, err)
 		}
 		crc.Write(buf)
 		return buf, nil
 	}
-	head, err := read(4 + 8 + 8 + 8)
+	head, err := read(4+8+8+8, "header")
 	if err != nil {
 		return nil, err
 	}
@@ -142,7 +155,7 @@ func readState(r io.Reader) (*Checkpoint, error) {
 	if n <= 0 || n > sparse.MaxDim || iters < 0 {
 		return nil, fmt.Errorf("implausible state header n=%d iters=%d", n, iters)
 	}
-	payload, err := read(int(n) * 8)
+	payload, err := read(int(n)*8, fmt.Sprintf("rank vector (n=%d)", n))
 	if err != nil {
 		return nil, err
 	}
@@ -152,11 +165,14 @@ func readState(r io.Reader) (*Checkpoint, error) {
 	}
 	want := crc.Sum32()
 	var tail [4]byte
-	if _, err := io.ReadFull(br, tail[:]); err != nil {
-		return nil, fmt.Errorf("reading checksum: %w", err)
+	if m, err := io.ReadFull(br, tail[:]); err != nil {
+		return nil, fmt.Errorf("truncated checksum: got %d of 4 bytes: %w", m, err)
 	}
 	if stored := binary.LittleEndian.Uint32(tail[:]); stored != want {
 		return nil, fmt.Errorf("checksum mismatch: stored %#x, computed %#x", stored, want)
+	}
+	if _, err := br.ReadByte(); err != io.EOF {
+		return nil, fmt.Errorf("trailing bytes after checksum")
 	}
 	return &Checkpoint{
 		Rank:                rank,

@@ -101,6 +101,18 @@ type Config struct {
 	// product and kernel-1 partitioning run on this many goroutines.
 	// Results are bit-for-bit invariant in it; <= 1 keeps ranks serial.
 	RankWorkers int
+	// Checkpoint configures epoch checkpoint/restart of the distributed
+	// kernel 3 (dist.CheckpointSpec semantics: FS enables it, Resume
+	// restarts from the newest complete epoch).  Only the variants with a
+	// distributed kernel 3 — dist, distgo, distext — accept it.  The
+	// spec's OnCommit/OnResume hooks compose with Progress: the runner
+	// also emits EventCheckpointSaved/EventCheckpointRestored.
+	Checkpoint dist.CheckpointSpec
+	// Fault, when non-nil, injects a rank failure into the distributed
+	// kernel 3 (dist.FaultPlan) — the chaos suites' instrument.  Like the
+	// dist layer's, it describes one injection: clear it on the restarted
+	// run.
+	Fault *dist.FaultPlan
 	// PageRank carries K3 options (damping, iterations, dangling).
 	PageRank pagerank.Options
 	// KeepRank retains the final rank vector in the Result.
@@ -168,6 +180,11 @@ func (c Config) Validate() error {
 	if _, err := dist.ParseExecMode(cc.DistMode); err != nil {
 		return err
 	}
+	if cc.Checkpoint.FS != nil || cc.Fault != nil {
+		if _, ok := registry[cc.Variant].(interface{ distCfg(*Run) dist.Config }); !ok {
+			return fmt.Errorf("pipeline: checkpoint/fault configured, but variant %q has no distributed kernel 3", cc.Variant)
+		}
+	}
 	return cc.PageRank.Validate()
 }
 
@@ -189,6 +206,14 @@ const (
 	// EventIteration fires after each completed kernel-3 PageRank
 	// iteration, carrying the 1-based iteration count.
 	EventIteration
+	// EventCheckpointSaved fires after the distributed kernel 3 commits
+	// an epoch, carrying the epoch's completed-iteration count in
+	// Iteration.
+	EventCheckpointSaved
+	// EventCheckpointRestored fires when a resuming kernel 3 loads a
+	// complete epoch before iterating, carrying the epoch's completed-
+	// iteration count in Iteration.
+	EventCheckpointRestored
 )
 
 // String implements fmt.Stringer.
@@ -200,6 +225,10 @@ func (k EventKind) String() string {
 		return "kernel-end"
 	case EventIteration:
 		return "iteration"
+	case EventCheckpointSaved:
+		return "checkpoint-saved"
+	case EventCheckpointRestored:
+		return "checkpoint-restored"
 	default:
 		return fmt.Sprintf("event?(%d)", int(k))
 	}
@@ -264,6 +293,9 @@ type Result struct {
 	// Comm is the total communication record of the run's distributed
 	// collectives (dist variants only; nil otherwise).
 	Comm *dist.CommStats
+	// Checkpoint is the distributed kernel 3's checkpoint/restart record
+	// (checkpointed or resumed dist-variant runs only; nil otherwise).
+	Checkpoint *dist.CheckpointStats
 	// Spill is the out-of-core kernel 1's run-file record (extsort and
 	// distext variants only; nil otherwise).
 	Spill *SpillStats
@@ -302,6 +334,9 @@ type Run struct {
 	// Comm accumulates the distributed collectives' communication record
 	// across kernels (dist variants call AddComm; nil for serial variants).
 	Comm *dist.CommStats
+	// Checkpoint receives the distributed kernel 3's checkpoint/restart
+	// record when Cfg.Checkpoint or Cfg.Fault is in play.
+	Checkpoint *dist.CheckpointStats
 	// Spill records the out-of-core kernel 1's run-file traffic (extsort
 	// and distext variants; nil for in-memory sorts).
 	Spill *SpillStats
@@ -501,6 +536,8 @@ func ExecuteKernelsContext(ctx context.Context, cfg Config, kernels []Kernel) (*
 	resCfg := cfg
 	resCfg.Source = nil
 	resCfg.Progress = nil
+	resCfg.Checkpoint.OnCommit = nil
+	resCfg.Checkpoint.OnResume = nil
 	res := &Result{Config: resCfg}
 	m := cfg.M()
 	for _, k := range kernels {
@@ -568,6 +605,7 @@ func ExecuteKernelsContext(ctx context.Context, cfg Config, kernels []Kernel) (*
 		}
 	}
 	res.Comm = run.Comm
+	res.Checkpoint = run.Checkpoint
 	res.Spill = run.Spill
 	res.GenCache = run.GenCache
 	return res, nil

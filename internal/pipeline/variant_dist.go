@@ -129,15 +129,35 @@ func (v distVariant) Kernel2(r *Run) error {
 
 // Kernel3 implements Variant.
 func (v distVariant) Kernel3(r *Run) error {
-	out, err := dist.Execute(r.Context(), dist.Spec{
+	spec := dist.Spec{
 		Config: v.distCfg(r), Op: dist.OpRunMatrix,
 		Matrix: r.Matrix, Procs: v.procs(r), PageRank: r.Cfg.PageRank,
-	})
+		Checkpoint: r.Cfg.Checkpoint, Fault: r.Cfg.Fault,
+	}
+	if progress := r.Cfg.Progress; progress != nil && spec.Checkpoint.FS != nil {
+		// Compose the caller's checkpoint hooks with the Progress stream,
+		// mirroring how the runner composes PageRank.Progress.
+		innerCommit, innerResume := spec.Checkpoint.OnCommit, spec.Checkpoint.OnResume
+		spec.Checkpoint.OnCommit = func(epoch int64) {
+			if innerCommit != nil {
+				innerCommit(epoch)
+			}
+			progress(Event{Kind: EventCheckpointSaved, Kernel: K3PageRank, Iteration: int(epoch)})
+		}
+		spec.Checkpoint.OnResume = func(epoch int64, torn int) {
+			if innerResume != nil {
+				innerResume(epoch, torn)
+			}
+			progress(Event{Kind: EventCheckpointRestored, Kernel: K3PageRank, Iteration: int(epoch)})
+		}
+	}
+	out, err := dist.Execute(r.Context(), spec)
 	if err != nil {
 		return err
 	}
 	res := out.Run
 	r.AddComm(res.Comm)
+	r.Checkpoint = res.Checkpoint
 	r.Rank = &pagerank.Result{Rank: res.Rank, Iterations: res.Iterations}
 	return nil
 }

@@ -20,6 +20,7 @@ import (
 
 	"repro/internal/edge"
 	"repro/internal/pipeline"
+	"repro/internal/vfs"
 )
 
 // GraphKey is the identity of a generated graph — the generator cache's
@@ -70,6 +71,9 @@ type Service struct {
 	mu        sync.Mutex
 	started   uint64
 	active    int
+
+	ckptOnce sync.Once
+	ckptFS   vfs.FS // storage for resume-keyed checkpoints; lazily an in-memory store
 }
 
 // Option configures a Service at construction.
@@ -96,6 +100,27 @@ func WithCacheCapacity(n int) Option {
 			s.cache = newGenCache(n)
 		}
 	}
+}
+
+// WithCheckpointStorage sets the storage resume-keyed runs (see
+// WithResumeKey) write their kernel-3 epochs to — a vfs.Dir makes
+// interrupted runs resumable across processes.  The default is an
+// in-memory store created on first use, which survives for the
+// Service's lifetime: a run killed mid-kernel-3 in this process resumes
+// under the same key.
+func WithCheckpointStorage(fs vfs.FS) Option {
+	return func(s *Service) { s.ckptFS = fs }
+}
+
+// checkpointFS returns the service's resume-key storage, creating the
+// in-memory default on first use.
+func (s *Service) checkpointFS() vfs.FS {
+	s.ckptOnce.Do(func() {
+		if s.ckptFS == nil {
+			s.ckptFS = vfs.NewMem()
+		}
+	})
+	return s.ckptFS
 }
 
 // New constructs a Service.  The zero-option Service admits GOMAXPROCS
@@ -187,6 +212,7 @@ type runSettings struct {
 	kernels   []pipeline.Kernel
 	progress  func(pipeline.Event)
 	onStarted func() // fires after admission, before the first kernel (RunStream)
+	resumeKey string
 }
 
 // withStarted is RunStream's internal hook for the moment a queued run
@@ -205,10 +231,24 @@ func WithKernels(ks ...pipeline.Kernel) RunOption {
 }
 
 // WithProgress attaches a synchronous observer for the run's pipeline
-// events (kernel start/end, kernel-3 iterations).  RunStream is the
-// channel-shaped form of the same hook.
+// events (kernel start/end, kernel-3 iterations, checkpoint saves and
+// restores).  RunStream is the channel-shaped form of the same hook.
 func WithProgress(fn func(pipeline.Event)) RunOption {
 	return func(rs *runSettings) { rs.progress = fn }
+}
+
+// WithResumeKey makes the run's distributed kernel 3 checkpoint under
+// the given key in the service's checkpoint storage and resume from the
+// newest complete epoch found there.  A run interrupted mid-kernel-3 —
+// cancelled, crashed on an injected fault, or killed with the process
+// when the storage is durable — is continued by running the same
+// configuration under the same key; a first run under a key is an
+// ordinary fresh start.  The key must only be shared by runs with
+// identical configurations (the dist layer rejects mismatched n or
+// damping).  Config.Checkpoint's FS/Prefix, when set, take precedence
+// over the derived ones; Every and the other knobs pass through.
+func WithResumeKey(key string) RunOption {
+	return func(rs *runSettings) { rs.resumeKey = key }
 }
 
 // Run executes one pipeline under the service: the call is admitted
@@ -232,6 +272,15 @@ func (s *Service) Run(ctx context.Context, cfg pipeline.Config, opts ...RunOptio
 	defer s.release()
 	if rs.onStarted != nil {
 		rs.onStarted()
+	}
+	if rs.resumeKey != "" {
+		if cfg.Checkpoint.FS == nil {
+			cfg.Checkpoint.FS = s.checkpointFS()
+		}
+		if cfg.Checkpoint.Prefix == "" {
+			cfg.Checkpoint.Prefix = "ckpt/" + rs.resumeKey
+		}
+		cfg.Checkpoint.Resume = true
 	}
 	if s.cache != nil && cfg.Source == nil {
 		cfg.Source = func(dcfg pipeline.Config) (*edge.List, bool, error) {

@@ -15,9 +15,11 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/dist"
 	"repro/internal/pagerank"
 	"repro/internal/pipeline"
 	"repro/internal/serve"
+	"repro/internal/vfs"
 )
 
 func runCfg(variant string) pipeline.Config {
@@ -326,5 +328,132 @@ func TestCacheDisabled(t *testing.T) {
 	}
 	if st := svc.Stats(); st.CacheHits != 0 || st.CacheMisses != 0 || st.CacheEntries != 0 {
 		t.Fatalf("cache disabled: counters moved: %+v", st)
+	}
+}
+
+// TestRunResumeByKey pins the resume-by-key contract: a run killed
+// mid-kernel-3 by an injected rank failure is continued by rerunning
+// the same configuration under the same key, landing bit-for-bit on the
+// uninterrupted result; a different key starts fresh.
+func TestRunResumeByKey(t *testing.T) {
+	svc := serve.New()
+	defer svc.Close()
+	ctx := context.Background()
+	cfg := runCfg("distgo")
+	cfg.PageRank = pagerank.Options{Seed: 11, Iterations: 10}
+	uninterrupted, err := svc.Run(ctx, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	kill := cfg
+	kill.Checkpoint.Every = 3
+	kill.Fault = &dist.FaultPlan{KillRank: 1, AtIteration: 8}
+	if _, err := svc.Run(ctx, kill, serve.WithResumeKey("job-1")); !errors.Is(err, dist.ErrFaultInjected) {
+		t.Fatalf("killed run: err = %v, want ErrFaultInjected", err)
+	}
+
+	resume := cfg
+	resume.Checkpoint.Every = 3
+	res, err := svc.Run(ctx, resume, serve.WithResumeKey("job-1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Checkpoint == nil || !res.Checkpoint.Resumed || res.Checkpoint.ResumedFrom != 6 {
+		t.Fatalf("resume record %+v, want resumed from 6", res.Checkpoint)
+	}
+	for i := range uninterrupted.Rank {
+		if uninterrupted.Rank[i] != res.Rank[i] {
+			t.Fatalf("resumed run diverges at component %d", i)
+		}
+	}
+
+	// A fresh key shares no state: same config, fresh start.
+	other, err := svc.Run(ctx, resume, serve.WithResumeKey("job-2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if other.Checkpoint != nil && other.Checkpoint.Resumed {
+		t.Fatalf("fresh key resumed: %+v", other.Checkpoint)
+	}
+}
+
+// TestRunStreamCheckpointEvents pins the streaming protocol's two new
+// event kinds: saves during the killed run, a restore during the
+// resumed one, in execution order.
+func TestRunStreamCheckpointEvents(t *testing.T) {
+	svc := serve.New()
+	defer svc.Close()
+	ctx := context.Background()
+	cfg := runCfg("distgo")
+	cfg.PageRank = pagerank.Options{Seed: 11, Iterations: 10}
+	cfg.Checkpoint.Every = 3
+	kill := cfg
+	kill.Fault = &dist.FaultPlan{KillRank: 0, AtIteration: 7}
+
+	var saves []int
+	var runErr error
+	for ev := range svc.RunStream(ctx, kill, serve.WithResumeKey("stream-job")) {
+		switch ev.Kind {
+		case serve.EventCheckpointSaved:
+			saves = append(saves, ev.Iteration)
+		case serve.EventRunEnd:
+			runErr = ev.Err
+		}
+	}
+	if !errors.Is(runErr, dist.ErrFaultInjected) {
+		t.Fatalf("killed stream: err = %v", runErr)
+	}
+	if len(saves) != 2 || saves[0] != 3 || saves[1] != 6 {
+		t.Fatalf("saves %v, want [3 6]", saves)
+	}
+
+	var restores, iters []int
+	for ev := range svc.RunStream(ctx, cfg, serve.WithResumeKey("stream-job")) {
+		switch ev.Kind {
+		case serve.EventCheckpointRestored:
+			restores = append(restores, ev.Iteration)
+		case serve.EventIteration:
+			iters = append(iters, ev.Iteration)
+		case serve.EventRunEnd:
+			if ev.Err != nil {
+				t.Fatalf("resumed stream: %v", ev.Err)
+			}
+		}
+	}
+	if len(restores) != 1 || restores[0] != 6 {
+		t.Fatalf("restores %v, want [6]", restores)
+	}
+	if len(iters) != 4 || iters[0] != 7 || iters[3] != 10 {
+		t.Fatalf("resumed iteration events %v, want global [7 8 9 10]", iters)
+	}
+}
+
+// TestWithCheckpointStorage pins the durable-storage option: epochs land
+// in the supplied FS under the key-derived prefix, so a second Service
+// (a "new process") resumes from them.
+func TestWithCheckpointStorage(t *testing.T) {
+	store := vfs.NewMem()
+	ctx := context.Background()
+	cfg := runCfg("dist")
+	cfg.PageRank = pagerank.Options{Seed: 11, Iterations: 10}
+	cfg.Checkpoint.Every = 5
+	kill := cfg
+	kill.Fault = &dist.FaultPlan{KillRank: 0, AtIteration: 10}
+
+	svc1 := serve.New(serve.WithCheckpointStorage(store))
+	if _, err := svc1.Run(ctx, kill, serve.WithResumeKey("k")); !errors.Is(err, dist.ErrFaultInjected) {
+		t.Fatalf("killed run: %v", err)
+	}
+	svc1.Close()
+
+	svc2 := serve.New(serve.WithCheckpointStorage(store))
+	defer svc2.Close()
+	res, err := svc2.Run(ctx, cfg, serve.WithResumeKey("k"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Checkpoint == nil || res.Checkpoint.ResumedFrom != 10 {
+		t.Fatalf("cross-service resume record %+v, want resumed from 10", res.Checkpoint)
 	}
 }

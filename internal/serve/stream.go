@@ -29,6 +29,14 @@ const (
 	// EventRunEnd fires exactly once, last, with the run's Result or
 	// error; the channel closes after it.
 	EventRunEnd
+	// EventCheckpointSaved fires after the distributed kernel 3 commits
+	// a checkpoint epoch; Iteration carries the epoch's completed-
+	// iteration count.
+	EventCheckpointSaved
+	// EventCheckpointRestored fires when a resuming kernel 3 loads a
+	// complete epoch before iterating; Iteration carries the epoch's
+	// completed-iteration count.
+	EventCheckpointRestored
 )
 
 // String implements fmt.Stringer.
@@ -44,6 +52,10 @@ func (k EventKind) String() string {
 		return "iteration"
 	case EventRunEnd:
 		return "run-end"
+	case EventCheckpointSaved:
+		return "checkpoint-saved"
+	case EventCheckpointRestored:
+		return "checkpoint-restored"
 	default:
 		return "event?"
 	}
@@ -136,6 +148,10 @@ func (s *Service) RunStream(ctx context.Context, cfg pipeline.Config, opts ...Ru
 					ev.Kind = EventKernelEnd
 				case pipeline.EventIteration:
 					ev.Kind = EventIteration
+				case pipeline.EventCheckpointSaved:
+					ev.Kind = EventCheckpointSaved
+				case pipeline.EventCheckpointRestored:
+					ev.Kind = EventCheckpointRestored
 				default:
 					return
 				}

@@ -10,10 +10,24 @@ import (
 // exhausted — a disk-full or network-filesystem failure model.  The
 // pipeline's error-path tests use it to verify that every kernel surfaces
 // storage failures instead of corrupting results.
+//
+// Two optional fault points extend the model for the checkpoint tests:
+// PartialWrites makes the budget-exhausting write land a prefix of its
+// payload before failing (a torn write, the failure a checksummed
+// two-phase commit must detect), and FailRenamesAfter kills the rename
+// that would otherwise atomically commit an epoch.
 type Faulty struct {
 	inner FS
 	// remaining is the byte budget across reads and writes combined.
 	remaining atomic.Int64
+	// partial, when set, makes the write that exhausts the budget first
+	// deliver the bytes that still fit instead of failing all-or-nothing.
+	partial bool
+	// renameLimited gates renamesLeft; when false (the default) renames
+	// always succeed — they never consume the byte budget.
+	renameLimited bool
+	// renamesLeft counts renames still allowed once renameLimited is set.
+	renamesLeft atomic.Int64
 }
 
 // ErrInjected is the failure Faulty returns once its budget is exhausted.
@@ -23,6 +37,24 @@ var ErrInjected = fmt.Errorf("vfs: injected storage failure")
 func NewFaulty(inner FS, budget int64) *Faulty {
 	f := &Faulty{inner: inner}
 	f.remaining.Store(budget)
+	return f
+}
+
+// PartialWrites switches the writer fault from all-or-nothing to torn:
+// the write that exhausts the budget delivers the prefix that still fits
+// to the underlying FS, then fails.  Returns f for chaining.
+func (f *Faulty) PartialWrites() *Faulty {
+	f.partial = true
+	return f
+}
+
+// FailRenamesAfter allows n further Rename calls to succeed and fails
+// every one after that with ErrInjected, leaving the temp file in place —
+// the "crash between write and commit" point of a two-phase protocol.
+// Returns f for chaining.
+func (f *Faulty) FailRenamesAfter(n int64) *Faulty {
+	f.renameLimited = true
+	f.renamesLeft.Store(n)
 	return f
 }
 
@@ -59,6 +91,15 @@ func (f *Faulty) Open(name string) (io.ReadCloser, error) {
 // Remove implements FS.
 func (f *Faulty) Remove(name string) error { return f.inner.Remove(name) }
 
+// Rename implements FS.  Renames consume no byte budget but respect the
+// FailRenamesAfter counter.
+func (f *Faulty) Rename(oldname, newname string) error {
+	if f.renameLimited && f.renamesLeft.Add(-1) < 0 {
+		return ErrInjected
+	}
+	return f.inner.Rename(oldname, newname)
+}
+
 // List implements FS.
 func (f *Faulty) List() ([]string, error) { return f.inner.List() }
 
@@ -72,6 +113,21 @@ type faultyWriter struct {
 
 func (w *faultyWriter) Write(p []byte) (int, error) {
 	if !w.f.consume(len(p)) {
+		if w.f.partial {
+			// Torn write: the bytes that still fit reach storage, the rest
+			// are lost.  remaining went negative by the overshoot, so the
+			// landed prefix is len(p) + remaining (clamped to [0, len(p))).
+			fit := len(p) + int(w.f.remaining.Load())
+			if fit < 0 {
+				fit = 0
+			}
+			if fit > 0 {
+				if n, err := w.w.Write(p[:fit]); err != nil {
+					return n, err
+				}
+			}
+			return fit, ErrInjected
+		}
 		return 0, ErrInjected
 	}
 	return w.w.Write(p)

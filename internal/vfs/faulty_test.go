@@ -72,3 +72,82 @@ func TestFaultyGenerousBudgetTransparent(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestFaultyPartialWrite(t *testing.T) {
+	mem := NewMem()
+	f := NewFaulty(mem, 10).PartialWrites()
+	w, err := f.Create("torn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := io.WriteString(w, "12345"); err != nil {
+		t.Fatalf("within budget: %v", err)
+	}
+	n, err := io.WriteString(w, "abcdefghij")
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("over budget err = %v, want injected", err)
+	}
+	if n != 5 {
+		t.Fatalf("torn write landed %d bytes, want the 5 that fit", n)
+	}
+	w.Close()
+	r, err := mem.Open("torn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := io.ReadAll(r)
+	if string(b) != "12345abcde" {
+		t.Fatalf("torn file content = %q, want prefix 12345abcde", b)
+	}
+	// The budget stays exhausted: a later write lands nothing.
+	w2, _ := mem.Create("again")
+	fw := &faultyWriter{w: w2, f: f}
+	if n, err := fw.Write([]byte("zz")); n != 0 || !errors.Is(err, ErrInjected) {
+		t.Fatalf("post-exhaustion write = (%d, %v), want (0, injected)", n, err)
+	}
+}
+
+func TestFaultyPartialWriteDefaultOff(t *testing.T) {
+	f := NewFaulty(NewMem(), 3)
+	w, _ := f.Create("x")
+	if n, err := w.Write([]byte("abcdef")); n != 0 || !errors.Is(err, ErrInjected) {
+		t.Fatalf("all-or-nothing default violated: (%d, %v)", n, err)
+	}
+}
+
+func TestFaultyFailRenamesAfter(t *testing.T) {
+	mem := NewMem()
+	for _, name := range []string{"a", "b", "c"} {
+		w, _ := mem.Create(name)
+		io.WriteString(w, name)
+		w.Close()
+	}
+	f := NewFaulty(mem, 1<<30).FailRenamesAfter(1)
+	if err := f.Rename("a", "a2"); err != nil {
+		t.Fatalf("first rename within allowance: %v", err)
+	}
+	if err := f.Rename("b", "b2"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("second rename err = %v, want injected", err)
+	}
+	if err := f.Rename("c", "c2"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("third rename err = %v, want injected", err)
+	}
+	// The source of the failed rename is untouched (the temp file survives).
+	if _, err := mem.Open("b"); err != nil {
+		t.Fatalf("failed rename should leave source intact: %v", err)
+	}
+	if _, err := mem.Open("a2"); err != nil {
+		t.Fatalf("allowed rename should have landed: %v", err)
+	}
+}
+
+func TestFaultyRenameUnlimitedByDefault(t *testing.T) {
+	mem := NewMem()
+	f := NewFaulty(mem, 0) // byte budget exhausted from the start
+	w, _ := mem.Create("x")
+	w.Close()
+	// Renames do not consume the byte budget.
+	if err := f.Rename("x", "y"); err != nil {
+		t.Fatalf("rename with zero byte budget: %v", err)
+	}
+}

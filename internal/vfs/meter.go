@@ -78,6 +78,12 @@ func (m *Metered) Open(name string) (io.ReadCloser, error) {
 // Remove implements FS.
 func (m *Metered) Remove(name string) error { return m.inner.Remove(name) }
 
+// Rename implements FS.  Renames move no payload bytes, so the counters
+// are untouched.
+func (m *Metered) Rename(oldname, newname string) error {
+	return m.inner.Rename(oldname, newname)
+}
+
 // List implements FS.
 func (m *Metered) List() ([]string, error) { return m.inner.List() }
 

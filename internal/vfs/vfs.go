@@ -32,6 +32,12 @@ type FS interface {
 	// Remove deletes the named file.  Removing a non-existent file is an
 	// error, matching os.Remove.
 	Remove(name string) error
+	// Rename atomically replaces newname with oldname's content and
+	// removes oldname, matching os.Rename: after it returns, newname is
+	// either its previous content or oldname's complete content, never a
+	// mixture.  It is the commit primitive of the checkpoint layer's
+	// two-phase protocol (write to a temp name, then rename into place).
+	Rename(oldname, newname string) error
 	// List returns the names of all files, sorted lexicographically.
 	List() ([]string, error)
 	// Size returns the size in bytes of the named file.
@@ -113,6 +119,24 @@ func (m *Mem) Remove(name string) error {
 		return &os.PathError{Op: "remove", Path: name, Err: ErrNotExist}
 	}
 	delete(m.files, name)
+	return nil
+}
+
+// Rename implements FS.  The swap happens under the store's lock, so a
+// concurrent Open observes either the old content of newname or the
+// complete new content — the atomicity the checkpoint commit relies on.
+func (m *Mem) Rename(oldname, newname string) error {
+	if newname == "" {
+		return errors.New("vfs: empty file name")
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	data, ok := m.files[oldname]
+	if !ok {
+		return &os.PathError{Op: "rename", Path: oldname, Err: ErrNotExist}
+	}
+	m.files[newname] = data
+	delete(m.files, oldname)
 	return nil
 }
 
@@ -212,6 +236,25 @@ func (d *Dir) Remove(name string) error {
 		return err
 	}
 	return os.Remove(p)
+}
+
+// Rename implements FS via os.Rename, which is atomic on POSIX
+// filesystems — the property the checkpoint layer's commit depends on.
+func (d *Dir) Rename(oldname, newname string) error {
+	op, err := d.resolve(oldname)
+	if err != nil {
+		return err
+	}
+	np, err := d.resolve(newname)
+	if err != nil {
+		return err
+	}
+	if dir := filepath.Dir(np); dir != d.root {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+	return os.Rename(op, np)
 }
 
 // List implements FS.  Names are reported relative to the root, using

@@ -242,3 +242,67 @@ func TestDirRoot(t *testing.T) {
 		t.Errorf("Root = %q, want %q", d.Root(), tmp)
 	}
 }
+
+func TestRename(t *testing.T) {
+	dir, err := NewDir(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, fs := range map[string]FS{"mem": NewMem(), "dir": dir} {
+		t.Run(name, func(t *testing.T) {
+			w, _ := fs.Create("a.tmp")
+			io.WriteString(w, "payload")
+			w.Close()
+			if err := fs.Rename("a.tmp", "a"); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := fs.Open("a.tmp"); !errors.Is(err, ErrNotExist) {
+				t.Errorf("old name still opens: %v", err)
+			}
+			r, err := fs.Open("a")
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, _ := io.ReadAll(r)
+			r.Close()
+			if string(b) != "payload" {
+				t.Errorf("content = %q", b)
+			}
+			// Rename onto an existing name replaces it.
+			w, _ = fs.Create("b.tmp")
+			io.WriteString(w, "new")
+			w.Close()
+			if err := fs.Rename("b.tmp", "a"); err != nil {
+				t.Fatal(err)
+			}
+			r, _ = fs.Open("a")
+			b, _ = io.ReadAll(r)
+			r.Close()
+			if string(b) != "new" {
+				t.Errorf("replaced content = %q", b)
+			}
+			// Missing source is an error.
+			if err := fs.Rename("missing", "x"); !errors.Is(err, ErrNotExist) {
+				t.Errorf("rename of missing file: %v", err)
+			}
+		})
+	}
+}
+
+func TestMeteredRenameForwards(t *testing.T) {
+	mem := NewMem()
+	m := NewMetered(mem)
+	w, _ := m.Create("t")
+	io.WriteString(w, "xy")
+	w.Close()
+	before := m.Stats()
+	if err := m.Rename("t", "u"); err != nil {
+		t.Fatal(err)
+	}
+	if after := m.Stats(); after != before {
+		t.Errorf("rename changed counters: %+v -> %+v", before, after)
+	}
+	if _, err := mem.Open("u"); err != nil {
+		t.Errorf("rename did not reach inner FS: %v", err)
+	}
+}
