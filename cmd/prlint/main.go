@@ -1,0 +1,147 @@
+// Command prlint is the repo's multichecker: it runs the custom
+// analyzers from internal/analysis (envelope, meteredcomm, determinism,
+// ctxfirst — see DESIGN.md §11) over the module and exits non-zero if
+// any documented contract is violated.
+//
+// Usage:
+//
+//	prlint [-tests=false] [-checks envelope,ctxfirst] [-json] [packages]
+//
+// Packages default to ./... and accept the same ./dir and ./dir/...
+// forms as the go tool, resolved against the enclosing module.
+// Diagnostics print as file:line:col: message [analyzer]; -json emits a
+// machine-readable array for CI artifacts.  Exit status: 0 clean, 1
+// findings, 2 usage or load failure.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/checks"
+	"repro/internal/analysis/load"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	tests := flag.Bool("tests", true, "also analyze _test.go files and external test packages")
+	checkList := flag.String("checks", "", "comma-separated analyzer subset (default: all)")
+	asJSON := flag.Bool("json", false, "emit diagnostics as JSON")
+	list := flag.Bool("list", false, "list available analyzers and exit")
+	flag.Parse()
+
+	analyzers := checks.All()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	if *checkList != "" {
+		var ok bool
+		analyzers, ok = checks.Select(strings.Split(*checkList, ","))
+		if !ok {
+			fmt.Fprintf(os.Stderr, "prlint: unknown analyzer in -checks=%s (try -list)\n", *checkList)
+			return 2
+		}
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "prlint:", err)
+		return 2
+	}
+	diags, lerr := Lint(cwd, flag.Args(), analyzers, *tests)
+	if lerr != nil {
+		fmt.Fprintln(os.Stderr, "prlint:", lerr)
+		return 2
+	}
+	if *asJSON {
+		out := make([]jsonDiag, 0, len(diags))
+		for _, d := range diags {
+			out = append(out, d)
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintln(os.Stderr, "prlint:", err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Printf("%s:%d:%d: %s [%s]\n", d.File, d.Line, d.Col, d.Message, d.Analyzer)
+		}
+	}
+	if len(diags) > 0 {
+		return 1
+	}
+	return 0
+}
+
+type jsonDiag struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// Lint loads the patterns relative to the module enclosing dir and runs
+// the analyzers, returning resolved diagnostics.
+func Lint(dir string, patterns []string, analyzers []*analysis.Analyzer, tests bool) ([]jsonDiag, error) {
+	root, modPath, err := load.FindModuleRoot(dir)
+	if err != nil {
+		return nil, err
+	}
+	l := load.New(load.Config{Tests: tests, ModRoot: root, ModPath: modPath})
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	seen := map[string]bool{}
+	var pkgs []*load.Package
+	for _, pat := range patterns {
+		paths, err := l.Expand(pat)
+		if err != nil {
+			return nil, err
+		}
+		for _, path := range paths {
+			if seen[path] {
+				continue
+			}
+			seen[path] = true
+			got, err := l.Load(path)
+			if err != nil {
+				return nil, err
+			}
+			pkgs = append(pkgs, got...)
+		}
+	}
+	diags, err := analysis.Run(pkgs, analyzers)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]jsonDiag, 0, len(diags))
+	for _, d := range diags {
+		pos := l.Fset().Position(d.Pos)
+		file := pos.Filename
+		if rel, rerr := relPath(root, file); rerr == nil {
+			file = rel
+		}
+		out = append(out, jsonDiag{File: file, Line: pos.Line, Col: pos.Column, Analyzer: d.Analyzer, Message: d.Message})
+	}
+	return out, nil
+}
+
+func relPath(root, file string) (string, error) {
+	if !strings.HasPrefix(file, root) {
+		return file, nil
+	}
+	return strings.TrimPrefix(strings.TrimPrefix(file, root), string(os.PathSeparator)), nil
+}

@@ -1,0 +1,62 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// An Analyzer describes one invariant checker.  The fields mirror
+// golang.org/x/tools/go/analysis.Analyzer where the two overlap.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //prlint:allow directives.  Lower-case, no spaces.
+	Name string
+
+	// Doc is the one-paragraph statement of the invariant, opening
+	// with the DESIGN.md section it enforces.
+	Doc string
+
+	// Run applies the analyzer to one package.  Findings are delivered
+	// through pass.Report; the error return is for the analyzer being
+	// unable to run at all, not for findings.
+	Run func(pass *Pass) error
+}
+
+// A Pass presents one type-checked package to an analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// PkgPath is the package's import path ("repro/internal/dist", or
+	// the bare testdata path in analysistest runs).
+	PkgPath string
+
+	// testFiles marks which of Files were parsed from _test.go files.
+	testFiles map[*ast.File]bool
+
+	// Report delivers one diagnostic.  Filled in by the driver.
+	Report func(Diagnostic)
+}
+
+// IsTestFile reports whether f came from a _test.go file.
+func (p *Pass) IsTestFile(f *ast.File) bool { return p.testFiles[f] }
+
+// Reportf reports a diagnostic at pos with a formatted message.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// A Diagnostic is one finding at one position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+
+	// Analyzer is the reporting analyzer's name; the driver fills it in.
+	Analyzer string
+}

@@ -1,0 +1,127 @@
+// Package analysistest runs an analyzer over a GOPATH-style golden tree
+// (testdata/src/<pkg>/...) and checks its diagnostics against `want`
+// comments, mirroring golang.org/x/tools/go/analysis/analysistest.
+//
+// A want comment sits on the line it describes and holds one or more
+// double- or back-quoted regular expressions, each of which must be
+// matched by exactly one diagnostic on that line:
+//
+//	m := f.getVec(8) // want `not released`
+//
+// Lines without a want comment must produce no diagnostics, so every
+// golden package pins true negatives as strictly as true positives.
+package analysistest
+
+import (
+	"go/token"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/load"
+)
+
+// Run loads each named package from dir/src and applies the analyzer,
+// comparing diagnostics (after suppression filtering, so golden trees
+// can also pin the //prlint:allow contract) against want comments.
+func Run(t *testing.T, dir string, a *analysis.Analyzer, pkgPaths ...string) {
+	t.Helper()
+	l := load.New(load.Config{Tests: true, SrcRoot: dir + "/src"})
+	var pkgs []*load.Package
+	for _, path := range pkgPaths {
+		got, err := l.Load(path)
+		if err != nil {
+			t.Fatalf("loading %s: %v", path, err)
+		}
+		pkgs = append(pkgs, got...)
+	}
+	diags, err := analysis.Run(pkgs, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+
+	wants := collectWants(t, pkgs)
+	for _, d := range diags {
+		pos := pkgs[0].Fset.Position(d.Pos)
+		key := lineKey{pos.Filename, pos.Line}
+		if matchWant(wants[key], d.Message) {
+			continue
+		}
+		t.Errorf("%s:%d: unexpected diagnostic: %s [%s]", pos.Filename, pos.Line, d.Message, d.Analyzer)
+	}
+	for key, ws := range wants {
+		for _, w := range ws {
+			if !w.matched {
+				t.Errorf("%s:%d: no diagnostic matching %q", key.file, key.line, w.re.String())
+			}
+		}
+	}
+}
+
+type lineKey struct {
+	file string
+	line int
+}
+
+type want struct {
+	re      *regexp.Regexp
+	matched bool
+}
+
+func matchWant(ws []*want, msg string) bool {
+	for _, w := range ws {
+		if !w.matched && w.re.MatchString(msg) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+var wantRe = regexp.MustCompile("(\"(?:[^\"\\\\]|\\\\.)*\"|`[^`]*`)")
+
+func collectWants(t *testing.T, pkgs []*load.Package) map[lineKey][]*want {
+	t.Helper()
+	wants := map[lineKey][]*want{}
+	seen := map[*token.File]bool{}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			tf := pkg.Fset.File(f.Pos())
+			if tf == nil || seen[tf] {
+				continue
+			}
+			seen[tf] = true
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					rest, ok := strings.CutPrefix(strings.TrimSpace(strings.TrimPrefix(c.Text, "//")), "want ")
+					if !ok {
+						continue
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					for _, quoted := range wantRe.FindAllString(rest, -1) {
+						pat, err := unquote(quoted)
+						if err != nil {
+							t.Fatalf("%s:%d: bad want pattern %s: %v", pos.Filename, pos.Line, quoted, err)
+						}
+						re, err := regexp.Compile(pat)
+						if err != nil {
+							t.Fatalf("%s:%d: bad want regexp %s: %v", pos.Filename, pos.Line, quoted, err)
+						}
+						key := lineKey{pos.Filename, pos.Line}
+						wants[key] = append(wants[key], &want{re: re})
+					}
+				}
+			}
+		}
+	}
+	return wants
+}
+
+func unquote(s string) (string, error) {
+	if strings.HasPrefix(s, "`") {
+		return strings.Trim(s, "`"), nil
+	}
+	return strconv.Unquote(s)
+}

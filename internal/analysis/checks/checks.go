@@ -1,0 +1,41 @@
+// Package checks is the registry of the repo's analyzers: the single
+// list shared by cmd/prlint and the selftest that keeps `go test ./...`
+// failing when the tree breaks one of its own documented contracts.
+// DESIGN.md §11 maps each analyzer to the section it enforces.
+package checks
+
+import (
+	"repro/internal/analysis"
+	"repro/internal/analysis/ctxfirst"
+	"repro/internal/analysis/determinism"
+	"repro/internal/analysis/envelope"
+	"repro/internal/analysis/meteredcomm"
+)
+
+// All returns every registered analyzer, in stable order.
+func All() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		ctxfirst.Analyzer,
+		determinism.Analyzer,
+		envelope.Analyzer,
+		meteredcomm.Analyzer,
+	}
+}
+
+// Select returns the analyzers whose names appear in names; an unknown
+// name returns nil and false.
+func Select(names []string) ([]*analysis.Analyzer, bool) {
+	byName := map[string]*analysis.Analyzer{}
+	for _, a := range All() {
+		byName[a.Name] = a
+	}
+	var out []*analysis.Analyzer
+	for _, n := range names {
+		a, ok := byName[n]
+		if !ok {
+			return nil, false
+		}
+		out = append(out, a)
+	}
+	return out, true
+}

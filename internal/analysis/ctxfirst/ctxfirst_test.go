@@ -1,0 +1,12 @@
+package ctxfirst_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/ctxfirst"
+)
+
+func TestCtxFirst(t *testing.T) {
+	analysistest.Run(t, "testdata", ctxfirst.Analyzer, "apisurface")
+}

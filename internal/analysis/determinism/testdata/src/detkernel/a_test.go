@@ -1,0 +1,38 @@
+package dist
+
+import (
+	"sort"
+	"testing"
+)
+
+// In test files only the subtest-order rule applies; the kernel rules
+// (go statements, wall clock, map ranges that do not drive subtests)
+// stay quiet here.
+func TestSubtestOrder(t *testing.T) {
+	cases := map[string]int{"a": 1, "b": 2}
+	for name := range cases {
+		t.Run(name, func(t *testing.T) {}) // want `subtest driven by map iteration`
+	}
+
+	// The documented remedy: iterate sorted keys.
+	keys := make([]string, 0, len(cases))
+	for k := range cases {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, name := range keys {
+		t.Run(name, func(t *testing.T) {})
+	}
+
+	// Kernel rules do not fire in test files.
+	done := make(chan struct{})
+	go func() { close(done) }()
+	<-done
+}
+
+func BenchmarkSubtestOrder(b *testing.B) {
+	cases := map[string]int{"a": 1}
+	for name := range cases {
+		b.Run(name, func(b *testing.B) {}) // want `subtest driven by map iteration`
+	}
+}

@@ -1,0 +1,34 @@
+// Package analysis is the repo's machine-checked-invariant framework: a
+// deliberately small, dependency-free re-implementation of the
+// golang.org/x/tools/go/analysis surface (Analyzer, Pass, Diagnostic)
+// plus the driver that runs analyzers over type-checked packages and
+// applies the //prlint:allow suppression contract.
+//
+// Why not the real x/tools module?  The build environment pins the
+// dependency closure to the standard library (go.mod has no requires,
+// and adding one is out of budget for this tree), so the framework is
+// vendored down to the subset the repo's analyzers need: no facts, no
+// Requires graph, no SSA — just parsed, fully type-checked packages and
+// a Report callback.  The types mirror x/tools field-for-field where
+// they overlap, so migrating an analyzer to the upstream framework is a
+// change of import path, not a rewrite.
+//
+// The analyzers themselves live in subpackages (envelope, meteredcomm,
+// determinism, ctxfirst) and encode contracts that DESIGN.md states in
+// prose; DESIGN.md §11 is the normative map from each analyzer to the
+// section it enforces.  cmd/prlint is the multichecker binary; the
+// selftest package keeps `go test ./...` failing if the tree itself
+// regresses.
+//
+// # Suppression
+//
+// A diagnostic is suppressed by a directive comment on the flagged line
+// or the line directly above it:
+//
+//	//prlint:allow <analyzer> -- <justification>
+//
+// The justification is mandatory: a directive without one does not
+// suppress and instead produces its own diagnostic.  One directive
+// suppresses only the named analyzer on that one line — there is no
+// file- or package-level escape hatch, by design.
+package analysis

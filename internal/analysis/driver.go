@@ -1,0 +1,124 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+
+	"repro/internal/analysis/load"
+)
+
+// AllowPrefix is the suppression directive: a comment of the form
+// `//prlint:allow <analyzer> -- <justification>` on the flagged line or
+// the line directly above suppresses that analyzer's diagnostics there.
+const AllowPrefix = "//prlint:allow"
+
+// Run applies every analyzer to every package and returns the surviving
+// diagnostics sorted by position.  Suppression directives are honored
+// here — analyzers never see them — and a directive missing its
+// mandatory justification is itself reported, attributed to the pseudo
+// analyzer "prlint".
+func Run(pkgs []*load.Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		allows, malformed := collectAllows(pkg)
+		diags = append(diags, malformed...)
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.Info,
+				PkgPath:   pkg.PkgPath,
+				testFiles: pkg.TestFiles,
+			}
+			pass.Report = func(d Diagnostic) {
+				d.Analyzer = a.Name
+				pos := pkg.Fset.Position(d.Pos)
+				if allows[allowKey{a.Name, pos.Filename, pos.Line}] {
+					return
+				}
+				diags = append(diags, d)
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s on %s: %w", a.Name, pkg.PkgPath, err)
+			}
+		}
+	}
+	sortDiagnostics(pkgs, diags)
+	return diags, nil
+}
+
+type allowKey struct {
+	analyzer string
+	file     string
+	line     int
+}
+
+// collectAllows scans a package's comments for suppression directives.
+// A well-formed directive covers its own line and the next line (so it
+// works both as a trailing comment and as a comment above the flagged
+// statement).  Directives without a ` -- justification` tail do not
+// suppress anything and are reported.
+func collectAllows(pkg *load.Package) (map[allowKey]bool, []Diagnostic) {
+	allows := map[allowKey]bool{}
+	var malformed []Diagnostic
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, AllowPrefix)
+				if !ok {
+					continue
+				}
+				name, reason, hasReason := strings.Cut(strings.TrimSpace(rest), "--")
+				name = strings.TrimSpace(name)
+				if name == "" || !hasReason || strings.TrimSpace(reason) == "" {
+					malformed = append(malformed, Diagnostic{
+						Pos:      c.Pos(),
+						Analyzer: "prlint",
+						Message: fmt.Sprintf(
+							"malformed suppression: want %s <analyzer> -- <justification>", AllowPrefix),
+					})
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				allows[allowKey{name, pos.Filename, pos.Line}] = true
+				allows[allowKey{name, pos.Filename, pos.Line + 1}] = true
+			}
+		}
+	}
+	return allows, malformed
+}
+
+func sortDiagnostics(pkgs []*load.Package, diags []Diagnostic) {
+	var fset *token.FileSet
+	if len(pkgs) > 0 {
+		fset = pkgs[0].Fset
+	}
+	sort.SliceStable(diags, func(i, j int) bool {
+		if fset == nil {
+			return false
+		}
+		pi, pj := fset.Position(diags[i].Pos), fset.Position(diags[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		return diags[i].Analyzer < diags[j].Analyzer
+	})
+}
+
+// File returns the *ast.File of pass.Files containing pos, or nil.
+func (p *Pass) File(pos token.Pos) *ast.File {
+	for _, f := range p.Files {
+		if f.FileStart <= pos && pos <= f.FileEnd {
+			return f
+		}
+	}
+	return nil
+}

@@ -1,0 +1,114 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis/load"
+)
+
+// fakeAnalyzer flags every function declaration, so the test can steer
+// findings onto chosen lines with plain source text.
+var fakeAnalyzer = &Analyzer{
+	Name: "fake",
+	Doc:  "flags every function declaration",
+	Run: func(pass *Pass) error {
+		for _, f := range pass.Files {
+			for _, d := range f.Decls {
+				if fd, ok := d.(*ast.FuncDecl); ok {
+					pass.Reportf(fd.Pos(), "func %s flagged", fd.Name.Name)
+				}
+			}
+		}
+		return nil
+	},
+}
+
+func parsePackage(t *testing.T, src string) *load.Package {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "fake.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &load.Package{
+		PkgPath:   "fakepkg",
+		Fset:      fset,
+		Files:     []*ast.File{f},
+		TestFiles: map[*ast.File]bool{},
+	}
+}
+
+// TestSuppressionContract pins the driver side of the directive design:
+// a justified //prlint:allow covers its own line and the next, an
+// unjustified one suppresses nothing and is itself reported, and a
+// directive only silences the analyzer it names.
+func TestSuppressionContract(t *testing.T) {
+	pkg := parsePackage(t, `package fakepkg
+
+func caught() {}
+
+//prlint:allow fake -- the test wants this one quiet
+func allowed() {}
+
+//prlint:allow fake
+func unjustified() {}
+
+//prlint:allow other -- names a different analyzer
+func wrongName() {}
+`)
+	diags, err := Run([]*load.Package{pkg}, []*Analyzer{fakeAnalyzer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	for _, d := range diags {
+		got = append(got, d.Analyzer+": "+d.Message)
+	}
+	want := map[string]bool{
+		"fake: func caught flagged":      true,
+		"fake: func unjustified flagged": true,
+		"fake: func wrongName flagged":   true,
+	}
+	sawMalformed := false
+	for _, g := range got {
+		switch {
+		case want[g]:
+			delete(want, g)
+		case strings.HasPrefix(g, "prlint: malformed suppression"):
+			sawMalformed = true
+		default:
+			t.Errorf("unexpected diagnostic %q", g)
+		}
+	}
+	for w := range want {
+		t.Errorf("missing diagnostic %q", w)
+	}
+	if !sawMalformed {
+		t.Error("unjustified directive was not reported as malformed")
+	}
+	for _, g := range got {
+		if strings.Contains(g, "allowed") {
+			t.Errorf("suppressed finding leaked: %q", g)
+		}
+	}
+}
+
+// TestSuppressionCoversTrailingComment checks the same-line form: the
+// directive as a trailing comment on the flagged line.
+func TestSuppressionCoversTrailingComment(t *testing.T) {
+	pkg := parsePackage(t, `package fakepkg
+
+func trailing() {} //prlint:allow fake -- trailing form
+`)
+	diags, err := Run([]*load.Package{pkg}, []*Analyzer{fakeAnalyzer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 0 {
+		t.Fatalf("trailing directive did not suppress: %v", diags)
+	}
+}

@@ -1,0 +1,581 @@
+// Package envelope enforces the pooled-envelope ownership rules of
+// DESIGN.md §5/§7: a vecMsg/keyMsg acquired from the fabric pool
+// (fabric.getVec/getKeys) or taken off a link (rankComm.recvVec/
+// recvKeyMsg) is owned by exactly one party, which must either release
+// it back to the pool (fabric.putVec/putKeys), hand it off over the
+// wire (rankComm.send), or pass ownership out of the function (return
+// it or store it away).  A leaked envelope silently grows the pool and
+// breaks the deterministic zero-allocation budget; touching an envelope
+// after release or handoff is a data race with the next owner.
+//
+// The check is a per-function abstract interpretation over the AST —
+// no cross-function tracking.  Each acquired envelope is in one or more
+// of the states {live, released, handed}; branch merges union the
+// states.  Reported hazards:
+//
+//   - an envelope still (possibly) live at a return or at the end of
+//     the function — the classic leaked-envelope-on-an-error-path bug;
+//   - any use of an envelope that is definitely released or handed off
+//     (including releasing it twice, or releasing after a send);
+//   - an acquisition whose result is not bound to a variable.
+//
+// Passing the envelope itself to any other function, storing it, or
+// returning it transfers ownership conservatively: tracking stops and
+// no leak is reported.  A deferred release covers every path.  Paths
+// that end in panic are exempt — the run is already coming down.
+package envelope
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the envelope ownership checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "envelope",
+	Doc:  "DESIGN.md §5/§7: pooled vecMsg/keyMsg envelopes must be released or handed off on every path and never touched afterwards",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				newChecker(pass).checkFunc(fd)
+			}
+		}
+	}
+	return nil
+}
+
+// state is the may-state bitset of one tracked envelope.
+type state uint8
+
+const (
+	live state = 1 << iota
+	released
+	handed
+)
+
+type meta struct {
+	pos          token.Pos // acquisition site
+	method       string    // acquiring method name
+	deferred     bool      // a deferred release covers every exit
+	leakReported bool
+}
+
+type checker struct {
+	pass *analysis.Pass
+	meta map[*types.Var]*meta
+}
+
+type env map[*types.Var]state
+
+func (e env) clone() env {
+	c := make(env, len(e))
+	for k, v := range e {
+		c[k] = v
+	}
+	return c
+}
+
+func newChecker(pass *analysis.Pass) *checker {
+	return &checker{pass: pass, meta: map[*types.Var]*meta{}}
+}
+
+func (c *checker) checkFunc(fd *ast.FuncDecl) {
+	e, term := c.walkStmts(fd.Body.List, env{})
+	if !term {
+		c.leakCheck(e)
+	}
+}
+
+// leakCheck fires at an exit point: every envelope that may still be
+// live, has no deferred release, and never escaped is a leak.
+func (c *checker) leakCheck(e env) {
+	for v, st := range e {
+		m := c.meta[v]
+		if st&live != 0 && !m.deferred && !m.leakReported {
+			m.leakReported = true
+			c.pass.Reportf(m.pos, "envelope from %s is not released on every path: release it with putVec/putKeys, send it, or hand it out of the function (DESIGN.md §7)", m.method)
+		}
+	}
+}
+
+// walkStmts interprets a statement list.  The returned bool means every
+// path through the list terminated (return, panic, break/continue).
+func (c *checker) walkStmts(stmts []ast.Stmt, e env) (env, bool) {
+	for _, s := range stmts {
+		var term bool
+		e, term = c.walkStmt(s, e)
+		if term {
+			return e, true
+		}
+	}
+	return e, false
+}
+
+func (c *checker) walkStmt(s ast.Stmt, e env) (env, bool) {
+	switch s := s.(type) {
+	case *ast.AssignStmt:
+		c.assign(s, e)
+	case *ast.DeclStmt:
+		c.declStmt(s, e)
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				if _, builtin := c.pass.ObjectOf(id).(*types.Builtin); builtin {
+					c.scanExpr(s.X, e)
+					return e, true // aborting; the pool no longer matters
+				}
+			}
+		}
+		c.scanExpr(s.X, e)
+	case *ast.DeferStmt:
+		c.deferStmt(s, e)
+	case *ast.SendStmt:
+		c.scanExpr(s.Chan, e)
+		if v := c.trackedIdent(s.Value, e); v != nil {
+			c.useCheck(v, s.Value.Pos(), e)
+			e[v] = handed
+		} else {
+			c.scanExpr(s.Value, e)
+		}
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			if v := c.trackedIdent(r, e); v != nil {
+				delete(e, v) // ownership moves to the caller
+			} else if call, ok := r.(*ast.CallExpr); ok && c.acquisitionMethod(call) != "" {
+				c.scanCallArgs(call, e) // fresh envelope returned directly
+			} else {
+				c.scanExpr(r, e)
+			}
+		}
+		c.leakCheck(e)
+		return e, true
+	case *ast.BranchStmt:
+		// break/continue/goto leave the structured walk; stay silent
+		// rather than guess which paths rejoin.
+		return e, true
+	case *ast.IfStmt:
+		if s.Init != nil {
+			e, _ = c.walkStmt(s.Init, e)
+		}
+		c.scanExpr(s.Cond, e)
+		thenEnv, thenTerm := c.walkStmts(s.Body.List, e.clone())
+		elseEnv, elseTerm := e, false
+		if s.Else != nil {
+			elseEnv, elseTerm = c.walkStmt(s.Else, e.clone())
+		}
+		switch {
+		case thenTerm && elseTerm:
+			return e, true
+		case thenTerm:
+			return elseEnv, false
+		case elseTerm:
+			return thenEnv, false
+		default:
+			return merge(thenEnv, elseEnv), false
+		}
+	case *ast.BlockStmt:
+		return c.walkStmts(s.List, e)
+	case *ast.ForStmt:
+		if s.Init != nil {
+			e, _ = c.walkStmt(s.Init, e)
+		}
+		if s.Cond != nil {
+			c.scanExpr(s.Cond, e)
+		}
+		bodyEnv, _ := c.walkStmts(s.Body.List, e.clone())
+		if s.Post != nil {
+			bodyEnv, _ = c.walkStmt(s.Post, bodyEnv)
+		}
+		return merge(e, bodyEnv), false
+	case *ast.RangeStmt:
+		c.scanExpr(s.X, e)
+		bodyEnv, _ := c.walkStmts(s.Body.List, e.clone())
+		return merge(e, bodyEnv), false
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		return c.walkBranches(s, e)
+	case *ast.LabeledStmt:
+		return c.walkStmt(s.Stmt, e)
+	case *ast.GoStmt:
+		c.scanExpr(s.Call, e)
+	case *ast.IncDecStmt:
+		c.scanExpr(s.X, e)
+	}
+	return e, false
+}
+
+// walkBranches handles switch/type-switch/select: each clause is a
+// branch.  The pre-statement env joins the merge only when no clause
+// may run at all — a switch without a default; a select always executes
+// exactly one of its clauses.
+func (c *checker) walkBranches(s ast.Stmt, e env) (env, bool) {
+	var body *ast.BlockStmt
+	exhaustive := false
+	switch s := s.(type) {
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			e, _ = c.walkStmt(s.Init, e)
+		}
+		if s.Tag != nil {
+			c.scanExpr(s.Tag, e)
+		}
+		body = s.Body
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			e, _ = c.walkStmt(s.Init, e)
+		}
+		body = s.Body
+	case *ast.SelectStmt:
+		body = s.Body
+		exhaustive = true
+	}
+	out := env{}
+	merged := false
+	for _, cl := range body.List {
+		var stmts []ast.Stmt
+		switch cl := cl.(type) {
+		case *ast.CaseClause:
+			if cl.List == nil {
+				exhaustive = true // default clause
+			}
+			for _, x := range cl.List {
+				c.scanExpr(x, e)
+			}
+			stmts = cl.Body
+		case *ast.CommClause:
+			branch := e.clone()
+			if cl.Comm != nil {
+				branch, _ = c.walkStmt(cl.Comm, branch)
+			}
+			if clEnv, term := c.walkStmts(cl.Body, branch); !term {
+				out, merged = merge(out, clEnv), true
+			}
+			continue
+		}
+		if clEnv, term := c.walkStmts(stmts, e.clone()); !term {
+			out, merged = merge(out, clEnv), true
+		}
+	}
+	if exhaustive && !merged && len(body.List) > 0 {
+		return e, true // every clause terminates and one must run
+	}
+	if !exhaustive {
+		out = merge(out, e)
+	}
+	return out, false
+}
+
+func merge(a, b env) env {
+	for v, st := range b {
+		a[v] |= st
+	}
+	return a
+}
+
+// assign handles bindings: an acquisition bound to an identifier starts
+// tracking; overwriting a live envelope variable loses it.
+func (c *checker) assign(s *ast.AssignStmt, e env) {
+	if len(s.Lhs) == len(s.Rhs) {
+		for i, rhs := range s.Rhs {
+			call, isCall := rhs.(*ast.CallExpr)
+			if isCall {
+				if m := c.acquisitionMethod(call); m != "" {
+					c.scanCallArgs(call, e)
+					c.bind(s.Lhs[i], call, m, e)
+					continue
+				}
+			}
+			c.scanLhs(s.Lhs[i], e)
+			if v := c.trackedIdent(rhs, e); v != nil {
+				c.useCheck(v, rhs.Pos(), e)
+				delete(e, v) // aliased away: ownership is no longer ours to judge
+			} else {
+				c.scanExpr(rhs, e)
+			}
+		}
+		return
+	}
+	for _, lhs := range s.Lhs {
+		c.scanLhs(lhs, e)
+	}
+	for _, rhs := range s.Rhs {
+		c.scanExpr(rhs, e)
+	}
+}
+
+func (c *checker) declStmt(s *ast.DeclStmt, e env) {
+	gd, ok := s.Decl.(*ast.GenDecl)
+	if !ok {
+		return
+	}
+	for _, spec := range gd.Specs {
+		vs, ok := spec.(*ast.ValueSpec)
+		if !ok {
+			continue
+		}
+		if len(vs.Names) == len(vs.Values) {
+			for i, val := range vs.Values {
+				if call, isCall := val.(*ast.CallExpr); isCall {
+					if m := c.acquisitionMethod(call); m != "" {
+						c.scanCallArgs(call, e)
+						c.bind(vs.Names[i], call, m, e)
+						continue
+					}
+				}
+				c.scanExpr(val, e)
+			}
+			continue
+		}
+		for _, val := range vs.Values {
+			c.scanExpr(val, e)
+		}
+	}
+}
+
+// bind starts (or restarts) tracking lhs as the owner of a fresh
+// envelope.
+func (c *checker) bind(lhs ast.Expr, call *ast.CallExpr, method string, e env) {
+	id, ok := lhs.(*ast.Ident)
+	if !ok || id.Name == "_" {
+		c.pass.Reportf(call.Pos(), "envelope from %s is discarded: bind it so it can be released (DESIGN.md §7)", method)
+		return
+	}
+	v, ok := c.pass.ObjectOf(id).(*types.Var)
+	if !ok {
+		return
+	}
+	if st, tracked := e[v]; tracked && st&live != 0 && !c.meta[v].deferred && !c.meta[v].leakReported {
+		c.meta[v].leakReported = true
+		c.pass.Reportf(c.meta[v].pos, "envelope from %s is overwritten while still live: the previous envelope leaks (DESIGN.md §7)", c.meta[v].method)
+	}
+	c.meta[v] = &meta{pos: call.Pos(), method: method}
+	e[v] = live
+}
+
+func (c *checker) deferStmt(s *ast.DeferStmt, e env) {
+	if v, isRelease := c.releaseArg(s.Call, e); isRelease && v != nil {
+		c.meta[v].deferred = true
+		return
+	}
+	c.scanExpr(s.Call, e)
+}
+
+// scanLhs treats `m.buf = …` / `x[i] = …` as uses of m/x, and plain
+// `m = …` overwrites as loss of the previous envelope (handled by the
+// caller via bind for acquisitions; here for non-acquisition RHS).
+func (c *checker) scanLhs(lhs ast.Expr, e env) {
+	if id, ok := lhs.(*ast.Ident); ok {
+		if v, isVar := c.pass.ObjectOf(id).(*types.Var); isVar {
+			if st, tracked := e[v]; tracked {
+				if st&live != 0 && !c.meta[v].deferred && !c.meta[v].leakReported {
+					c.meta[v].leakReported = true
+					c.pass.Reportf(c.meta[v].pos, "envelope from %s is overwritten while still live: the previous envelope leaks (DESIGN.md §7)", c.meta[v].method)
+				}
+				delete(e, v)
+			}
+		}
+		return
+	}
+	c.scanExpr(lhs, e)
+}
+
+// scanExpr interprets an expression for releases, handoffs, escapes and
+// plain uses of tracked envelopes.
+func (c *checker) scanExpr(x ast.Expr, e env) {
+	switch x := x.(type) {
+	case nil:
+	case *ast.CallExpr:
+		if v, isRelease := c.releaseArg(x, e); isRelease {
+			if v != nil {
+				c.release(v, x.Pos(), e)
+			} else {
+				c.scanCallArgs(x, e)
+			}
+			return
+		}
+		if c.isHandoff(x) {
+			for _, arg := range x.Args {
+				if v := c.trackedIdent(arg, e); v != nil {
+					c.useCheck(v, arg.Pos(), e)
+					e[v] = handed
+				} else {
+					c.scanExpr(arg, e)
+				}
+			}
+			c.scanExpr(x.Fun, e)
+			return
+		}
+		if m := c.acquisitionMethod(x); m != "" {
+			// An acquisition reaching here was never bound.
+			c.pass.Reportf(x.Pos(), "envelope from %s is discarded: bind it so it can be released (DESIGN.md §7)", m)
+			c.scanCallArgs(x, e)
+			return
+		}
+		// Unknown call: a bare envelope argument transfers ownership
+		// conservatively (stop tracking); everything else is a use.
+		for _, arg := range x.Args {
+			if v := c.trackedIdent(arg, e); v != nil {
+				c.useCheck(v, arg.Pos(), e)
+				delete(e, v)
+			} else {
+				c.scanExpr(arg, e)
+			}
+		}
+		c.scanExpr(x.Fun, e)
+	case *ast.Ident:
+		if v := c.trackedIdent(x, e); v != nil {
+			c.useCheck(v, x.Pos(), e)
+		}
+	case *ast.SelectorExpr:
+		c.scanExpr(x.X, e)
+	case *ast.ParenExpr:
+		c.scanExpr(x.X, e)
+	case *ast.StarExpr:
+		c.scanExpr(x.X, e)
+	case *ast.UnaryExpr:
+		if v := c.trackedIdent(x.X, e); v != nil && x.Op == token.AND {
+			c.useCheck(v, x.Pos(), e)
+			delete(e, v) // address taken: anyone may own it now
+			return
+		}
+		c.scanExpr(x.X, e)
+	case *ast.BinaryExpr:
+		c.scanExpr(x.X, e)
+		c.scanExpr(x.Y, e)
+	case *ast.IndexExpr:
+		c.scanExpr(x.X, e)
+		c.scanExpr(x.Index, e)
+	case *ast.SliceExpr:
+		c.scanExpr(x.X, e)
+		c.scanExpr(x.Low, e)
+		c.scanExpr(x.High, e)
+		c.scanExpr(x.Max, e)
+	case *ast.TypeAssertExpr:
+		c.scanExpr(x.X, e)
+	case *ast.CompositeLit:
+		for _, el := range x.Elts {
+			if v := c.trackedIdent(el, e); v != nil {
+				c.useCheck(v, el.Pos(), e)
+				delete(e, v) // stored away: ownership transfers
+			} else {
+				c.scanExpr(el, e)
+			}
+		}
+	case *ast.KeyValueExpr:
+		c.scanExpr(x.Key, e)
+		if v := c.trackedIdent(x.Value, e); v != nil {
+			c.useCheck(v, x.Value.Pos(), e)
+			delete(e, v)
+		} else {
+			c.scanExpr(x.Value, e)
+		}
+	case *ast.FuncLit:
+		// A closure may run at any time: any envelope it captures is
+		// beyond this intraprocedural analysis.
+		ast.Inspect(x.Body, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok {
+				if v := c.trackedIdent(id, e); v != nil {
+					delete(e, v)
+				}
+			}
+			return true
+		})
+	}
+}
+
+func (c *checker) scanCallArgs(call *ast.CallExpr, e env) {
+	for _, arg := range call.Args {
+		c.scanExpr(arg, e)
+	}
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		c.scanExpr(sel.X, e)
+	}
+}
+
+func (c *checker) release(v *types.Var, pos token.Pos, e env) {
+	st := e[v]
+	m := c.meta[v]
+	switch {
+	case st&live == 0 && st&handed != 0:
+		c.pass.Reportf(pos, "release of an envelope already handed to the fabric: the receiver owns it now (DESIGN.md §5/§7)")
+	case st&live == 0 && st&released != 0:
+		c.pass.Reportf(pos, "double release of envelope from %s (DESIGN.md §7)", m.method)
+	}
+	e[v] = released
+}
+
+func (c *checker) useCheck(v *types.Var, pos token.Pos, e env) {
+	st := e[v]
+	if st&live != 0 || c.meta[v].deferred {
+		return
+	}
+	switch {
+	case st&handed != 0:
+		c.pass.Reportf(pos, "use of envelope after it was handed to the fabric: the receiver owns it (DESIGN.md §5/§7)")
+	case st&released != 0:
+		c.pass.Reportf(pos, "use of envelope after release back to the pool (DESIGN.md §7)")
+	}
+}
+
+// trackedIdent returns the tracked variable behind a bare identifier
+// expression, or nil.
+func (c *checker) trackedIdent(x ast.Expr, e env) *types.Var {
+	id, ok := x.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	v, ok := c.pass.ObjectOf(id).(*types.Var)
+	if !ok {
+		return nil
+	}
+	if _, tracked := e[v]; !tracked {
+		return nil
+	}
+	return v
+}
+
+// acquisitionMethod reports the acquiring method name when call mints a
+// pooled envelope: fabric.getVec/getKeys or rankComm.recvVec/recvKeyMsg.
+func (c *checker) acquisitionMethod(call *ast.CallExpr) string {
+	for _, m := range []string{"getVec", "getKeys"} {
+		if _, ok := c.pass.MethodCallOn(call, "fabric", m); ok {
+			return m
+		}
+	}
+	for _, m := range []string{"recvVec", "recvKeyMsg"} {
+		if _, ok := c.pass.MethodCallOn(call, "rankComm", m); ok {
+			return m
+		}
+	}
+	return ""
+}
+
+// releaseArg reports whether call is putVec/putKeys; v is the tracked
+// released variable when the argument is a bare tracked identifier.
+func (c *checker) releaseArg(call *ast.CallExpr, e env) (v *types.Var, isRelease bool) {
+	for _, m := range []string{"putVec", "putKeys"} {
+		if _, ok := c.pass.MethodCallOn(call, "fabric", m); ok {
+			if len(call.Args) == 1 {
+				v = c.trackedIdent(call.Args[0], e)
+			}
+			return v, true
+		}
+	}
+	return nil, false
+}
+
+// isHandoff reports whether call transfers envelope ownership over the
+// wire: the raw rankComm.send.
+func (c *checker) isHandoff(call *ast.CallExpr) bool {
+	_, ok := c.pass.MethodCallOn(call, "rankComm", "send")
+	return ok
+}

@@ -1,0 +1,35 @@
+// Package dist is a miniature of the real rank fabric: just enough of
+// the vecMsg/keyMsg pool and rankComm surface for the envelope
+// analyzer's golden cases.  No diagnostics are expected in this file.
+package dist
+
+type vecMsg struct{ buf []float64 }
+
+type keyMsg struct{ buf []uint64 }
+
+type fabric struct {
+	freeVecs []*vecMsg
+	freeKeys []*keyMsg
+}
+
+func (f *fabric) getVec(n int) *vecMsg {
+	return &vecMsg{buf: make([]float64, n)}
+}
+
+func (f *fabric) getKeys(n int) *keyMsg {
+	return &keyMsg{buf: make([]uint64, n)}
+}
+
+func (f *fabric) putVec(m *vecMsg)  { f.freeVecs = append(f.freeVecs, m) }
+func (f *fabric) putKeys(m *keyMsg) { f.freeKeys = append(f.freeKeys, m) }
+
+type rankComm struct {
+	f    *fabric
+	rank int
+}
+
+func (c *rankComm) send(dst int, m any) {}
+
+func (c *rankComm) recvVec(src int) *vecMsg { return &vecMsg{} }
+
+func (c *rankComm) recvKeyMsg(src int) *keyMsg { return &keyMsg{} }

@@ -1,0 +1,345 @@
+// Package load parses and type-checks Go packages for the analysis
+// framework without shelling out to the go tool or importing
+// golang.org/x/tools.  It understands exactly the two worlds prlint
+// needs:
+//
+//   - module mode: packages under a go.mod root, addressed by their
+//     module-qualified import path ("repro/internal/dist") or by the
+//     "./..." pattern, with intra-module imports resolved by path
+//     rewriting and standard-library imports type-checked from GOROOT
+//     source (the toolchain ships no export data);
+//   - src mode: analysistest golden trees laid out GOPATH-style under
+//     testdata/src/<path>, where any import found under the src root
+//     resolves locally and everything else falls through to GOROOT.
+//
+// All packages share one token.FileSet, so positions are comparable
+// across the run, and results are memoized per Loader.
+package load
+
+import (
+	"errors"
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// A Package is one parsed, type-checked package.
+type Package struct {
+	// PkgPath is the import path used to address the package; the
+	// external test package of path P gets "P_test".
+	PkgPath string
+	Dir     string
+
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+
+	// TestFiles marks which of Files came from _test.go files.
+	TestFiles map[*ast.File]bool
+}
+
+// Config controls a Loader.
+type Config struct {
+	// Tests includes _test.go files: in-package test files join their
+	// package, and external _test packages are loaded alongside.
+	Tests bool
+
+	// ModRoot/ModPath describe module mode: the directory holding
+	// go.mod and the module path it declares.
+	ModRoot string
+	ModPath string
+
+	// SrcRoot, when set, switches to src mode: import path P resolves
+	// to SrcRoot/P when that directory exists.
+	SrcRoot string
+}
+
+// A Loader loads packages under one Config, memoizing by import path.
+type Loader struct {
+	cfg  Config
+	fset *token.FileSet
+	std  types.Importer
+	pkgs map[string]*loadResult
+}
+
+type loadResult struct {
+	pkg *Package
+	err error
+	// loading marks an in-progress load, to turn import cycles into
+	// errors instead of infinite recursion.
+	loading bool
+}
+
+// New returns a Loader for cfg.
+func New(cfg Config) *Loader {
+	fset := token.NewFileSet()
+	return &Loader{
+		cfg:  cfg,
+		fset: fset,
+		std:  importer.ForCompiler(fset, "source", nil),
+		pkgs: map[string]*loadResult{},
+	}
+}
+
+// Fset returns the loader's shared file set.
+func (l *Loader) Fset() *token.FileSet { return l.fset }
+
+// FindModuleRoot walks up from dir to the nearest go.mod and returns
+// its directory and the module path it declares.
+func FindModuleRoot(dir string) (root, modPath string, err error) {
+	dir, err = filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for {
+		data, rerr := os.ReadFile(filepath.Join(dir, "go.mod"))
+		if rerr == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module "); ok {
+					return dir, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("load: %s/go.mod has no module line", dir)
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", "", fmt.Errorf("load: no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// Expand resolves a command-line pattern to import paths.  Supported
+// forms: "./..." and "./dir/..." (all packages under the module root or
+// the named subdirectory), "./dir" (one directory), and a plain import
+// path, which is returned as-is.
+func (l *Loader) Expand(pattern string) ([]string, error) {
+	if l.cfg.ModRoot == "" {
+		return nil, fmt.Errorf("load: pattern %q needs module mode", pattern)
+	}
+	rel, recursive := pattern, false
+	if rest, ok := strings.CutSuffix(rel, "/..."); ok {
+		rel, recursive = rest, true
+	}
+	if rel == "." || rel == "./" {
+		rel = ""
+	}
+	rel = strings.TrimPrefix(rel, "./")
+	if !recursive && strings.HasPrefix(pattern, "./") {
+		return []string{l.joinPath(rel)}, nil
+	}
+	if !recursive {
+		// A bare import path.
+		return []string{pattern}, nil
+	}
+	base := filepath.Join(l.cfg.ModRoot, filepath.FromSlash(rel))
+	var paths []string
+	err := filepath.WalkDir(base, func(p string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if p != base && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata") {
+			return filepath.SkipDir
+		}
+		if hasGoFiles(p) {
+			r, rerr := filepath.Rel(l.cfg.ModRoot, p)
+			if rerr != nil {
+				return rerr
+			}
+			paths = append(paths, l.joinPath(filepath.ToSlash(r)))
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(paths)
+	return paths, nil
+}
+
+func (l *Loader) joinPath(rel string) string {
+	if rel == "" || rel == "." {
+		return l.cfg.ModPath
+	}
+	return l.cfg.ModPath + "/" + rel
+}
+
+func hasGoFiles(dir string) bool {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range ents {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			return true
+		}
+	}
+	return false
+}
+
+// errTestOnly marks a directory holding only _test.go files while the
+// loader runs with Tests disabled; Load turns it into an empty result.
+var errTestOnly = errors.New("load: test-only package outside Tests mode")
+
+// Load loads the package at the given import path, plus — in Tests mode
+// — its external test package when one exists.  The base package is
+// always first in the result.  A test-only directory loads as zero
+// packages when Tests is off.
+func (l *Loader) Load(path string) ([]*Package, error) {
+	base, err := l.load(path)
+	if errors.Is(err, errTestOnly) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	out := []*Package{base}
+	if l.cfg.Tests {
+		if xt, err := l.loadXTest(path, base); err != nil {
+			return nil, err
+		} else if xt != nil {
+			out = append(out, xt)
+		}
+	}
+	return out, nil
+}
+
+// dirOf resolves an import path to a directory, or "" for a path this
+// loader does not own (i.e. a standard-library import).
+func (l *Loader) dirOf(path string) string {
+	if l.cfg.SrcRoot != "" {
+		dir := filepath.Join(l.cfg.SrcRoot, filepath.FromSlash(path))
+		if hasGoFiles(dir) {
+			return dir
+		}
+		return ""
+	}
+	if path == l.cfg.ModPath {
+		return l.cfg.ModRoot
+	}
+	if rest, ok := strings.CutPrefix(path, l.cfg.ModPath+"/"); ok {
+		return filepath.Join(l.cfg.ModRoot, filepath.FromSlash(rest))
+	}
+	return ""
+}
+
+func (l *Loader) load(path string) (*Package, error) {
+	if r, ok := l.pkgs[path]; ok {
+		if r.loading {
+			return nil, fmt.Errorf("load: import cycle through %q", path)
+		}
+		return r.pkg, r.err
+	}
+	dir := l.dirOf(path)
+	if dir == "" {
+		return nil, fmt.Errorf("load: %q is not under this loader's root", path)
+	}
+	r := &loadResult{loading: true}
+	l.pkgs[path] = r
+	r.pkg, r.err = l.typecheckDir(path, dir, false, nil)
+	r.loading = false
+	return r.pkg, r.err
+}
+
+func (l *Loader) loadXTest(path string, base *Package) (*Package, error) {
+	bp, err := build.Default.ImportDir(base.Dir, 0)
+	if err != nil || len(bp.XTestGoFiles) == 0 {
+		return nil, nil
+	}
+	return l.typecheckDir(path+"_test", base.Dir, true, bp.XTestGoFiles)
+}
+
+// typecheckDir parses and type-checks one package.  For the base
+// package (xtestOnly false) the file list comes from go/build so build
+// constraints are honored; _test.go files join in Tests mode.
+func (l *Loader) typecheckDir(path, dir string, xtestOnly bool, fileNames []string) (*Package, error) {
+	if !xtestOnly {
+		bp, err := build.Default.ImportDir(dir, 0)
+		if err != nil {
+			if _, noGo := err.(*build.NoGoError); !noGo {
+				return nil, fmt.Errorf("load %s: %w", path, err)
+			}
+			// A test-only directory: analyzable in Tests mode, and
+			// deliberately empty — not an error — without it.
+			if len(bp.TestGoFiles) == 0 || !l.cfg.Tests {
+				return nil, errTestOnly
+			}
+		}
+		fileNames = append(fileNames, bp.GoFiles...)
+		if l.cfg.Tests {
+			fileNames = append(fileNames, bp.TestGoFiles...)
+		}
+		if len(fileNames) == 0 {
+			return nil, errTestOnly
+		}
+	}
+	if len(fileNames) == 0 {
+		return nil, fmt.Errorf("load %s: no Go files in %s", path, dir)
+	}
+	sort.Strings(fileNames)
+
+	pkg := &Package{
+		PkgPath:   path,
+		Dir:       dir,
+		Fset:      l.fset,
+		TestFiles: map[*ast.File]bool{},
+	}
+	for _, name := range fileNames {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("load %s: %w", path, err)
+		}
+		pkg.Files = append(pkg.Files, f)
+		if strings.HasSuffix(name, "_test.go") {
+			pkg.TestFiles[f] = true
+		}
+	}
+
+	pkg.Info = &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Implicits:  map[ast.Node]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{Importer: importerFunc(l.importFor)}
+	tpkg, err := conf.Check(path, l.fset, pkg.Files, pkg.Info)
+	if err != nil {
+		return nil, fmt.Errorf("load %s: %w", path, err)
+	}
+	pkg.Types = tpkg
+	return pkg, nil
+}
+
+// importFor resolves one import during type checking: local paths go
+// through the memoizing loader, everything else to the GOROOT source
+// importer.
+func (l *Loader) importFor(path string) (*types.Package, error) {
+	if l.dirOf(path) != "" {
+		p, err := l.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return p.Types, nil
+	}
+	return l.std.Import(path)
+}
+
+type importerFunc func(string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

@@ -1,0 +1,94 @@
+// Package meteredcomm enforces the collective contract of DESIGN.md §5:
+// every byte a rank puts on the wire is metered by the collective layer
+// in collective.go, which is the load-bearing fact behind the repo's
+// provable claim that measured CommStats equal PredictedCommBytes.  A
+// send or receive that touches the fabric's links from anywhere else is
+// an unmetered side channel: results may stay right while the paper's
+// closed-form communication model silently becomes unfalsifiable.
+//
+// In any package that defines a `fabric` type, code outside
+// collective.go (tests exempt) may not:
+//
+//   - send on, receive from, close, or range over a channel reached
+//     through a fabric's links;
+//   - call the raw rankComm send/recv primitives — rank programs speak
+//     collectives (allReduce*, broadcast*, gather*, exchange*,
+//     agreeError) or the typed recv helpers, never the wire directly.
+package meteredcomm
+
+import (
+	"go/ast"
+	"go/token"
+	"path/filepath"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the metered-communication checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "meteredcomm",
+	Doc:  "DESIGN.md §5: all rank communication flows through the metered collectives in collective.go; raw fabric link operations elsewhere would break CommStats == PredictedCommBytes",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	if pass.Pkg.Scope().Lookup("fabric") == nil {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f) {
+			continue
+		}
+		if filepath.Base(pass.Fset.Position(f.Package).Filename) == "collective.go" {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SendStmt:
+				if touchesLinks(pass, n.Chan) {
+					report(pass, n.Pos(), "send on a fabric link")
+				}
+			case *ast.UnaryExpr:
+				if n.Op == token.ARROW && touchesLinks(pass, n.X) {
+					report(pass, n.Pos(), "receive from a fabric link")
+				}
+			case *ast.RangeStmt:
+				if touchesLinks(pass, n.X) {
+					report(pass, n.Pos(), "range over a fabric link")
+				}
+			case *ast.CallExpr:
+				if id, ok := n.Fun.(*ast.Ident); ok && id.Name == "close" && len(n.Args) == 1 && touchesLinks(pass, n.Args[0]) {
+					report(pass, n.Pos(), "close of a fabric link")
+				}
+				for _, m := range []string{"send", "recv"} {
+					if _, ok := pass.MethodCallOn(n, "rankComm", m); ok {
+						report(pass, n.Pos(), "raw rankComm."+m+" call")
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func report(pass *analysis.Pass, pos token.Pos, what string) {
+	pass.Reportf(pos, "%s outside collective.go: all rank communication must go through the metered collectives (DESIGN.md §5)", what)
+}
+
+// touchesLinks reports whether expr reaches a channel through the links
+// field of a fabric value (f.links[i], c.f.links[…], …).
+func touchesLinks(pass *analysis.Pass, expr ast.Expr) bool {
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "links" {
+			return true
+		}
+		if analysis.NamedTypeName(pass.TypesInfo.TypeOf(sel.X)) == "fabric" {
+			found = true
+		}
+		return true
+	})
+	return found
+}

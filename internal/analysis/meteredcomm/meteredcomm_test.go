@@ -1,0 +1,12 @@
+package meteredcomm_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/meteredcomm"
+)
+
+func TestMeteredComm(t *testing.T) {
+	analysistest.Run(t, "testdata", meteredcomm.Analyzer, "fabricpkg")
+}

@@ -1,0 +1,62 @@
+package dist
+
+// --- true positives: unmetered side channels on the fabric ---
+
+func sideChannelSend(f *fabric, m any) {
+	f.links[0] <- m // want `send on a fabric link outside collective.go`
+}
+
+func sideChannelRecv(f *fabric) any {
+	return <-f.links[0] // want `receive from a fabric link outside collective.go`
+}
+
+func sideChannelViaComm(c *rankComm, dst int, m any) {
+	c.f.links[dst] <- m // want `send on a fabric link outside collective.go`
+}
+
+func rawSend(c *rankComm, dst int, m any) {
+	c.send(dst, m) // want `raw rankComm.send call outside collective.go`
+}
+
+func rawRecv(c *rankComm, src int) any {
+	return c.recv(src) // want `raw rankComm.recv call outside collective.go`
+}
+
+func closeLink(f *fabric) {
+	close(f.links[0]) // want `close of a fabric link outside collective.go`
+}
+
+func drainLink(f *fabric) {
+	for range f.links[0] { // want `range over a fabric link outside collective.go`
+	}
+}
+
+// --- true negatives ---
+
+// Private channels that are not fabric links are free.
+func okPrivateChannel(done chan struct{}) {
+	done <- struct{}{}
+	<-done
+	close(done)
+}
+
+// The teardown plane is not a link: watching done is legal anywhere.
+func okDoneWatch(f *fabric) bool {
+	select {
+	case <-f.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// Rank programs speak collectives.
+func okCollective(c *rankComm, vec []float64) {
+	c.allReduce(vec)
+}
+
+// A justified suppression silences a finding.
+func okSuppressed(c *rankComm, src int) any {
+	//prlint:allow meteredcomm -- golden case for the suppression contract
+	return c.recv(src)
+}

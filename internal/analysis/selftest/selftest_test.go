@@ -1,0 +1,64 @@
+// Package selftest runs the prlint analyzers over this repository
+// itself, so `go test ./...` fails the moment the tree breaks one of
+// its own machine-checked invariants (DESIGN.md §11).  The golden tests
+// under each analyzer prove the analyzers right; this test proves the
+// repo clean.
+package selftest
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/checks"
+	"repro/internal/analysis/load"
+)
+
+// TestRepoIsPrlintClean type-checks and analyzes every package in the
+// module, test files included — the same sweep as `go run ./cmd/prlint
+// ./...`.  A finding here is a real regression: fix the code, or add a
+// `//prlint:allow <analyzer> -- <justification>` directive if the
+// violation is intentional and justified.
+func TestRepoIsPrlintClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("analyzing the whole module is not a -short test")
+	}
+	cwd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	root, modPath, err := load.FindModuleRoot(cwd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := load.New(load.Config{Tests: true, ModRoot: root, ModPath: modPath})
+	paths, err := l.Expand("./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pkgs []*load.Package
+	for _, path := range paths {
+		got, err := l.Load(path)
+		if err != nil {
+			t.Fatalf("load %s: %v", path, err)
+		}
+		pkgs = append(pkgs, got...)
+	}
+	diags, err := analysis.Run(pkgs, checks.All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		pos := l.Fset().Position(d.Pos)
+		file := pos.Filename
+		if rel, rerr := filepath.Rel(root, file); rerr == nil {
+			file = rel
+		}
+		t.Errorf("%s:%d:%d: %s [%s]", file, pos.Line, pos.Column, d.Message, d.Analyzer)
+	}
+	if t.Failed() {
+		fmt.Println("see DESIGN.md §11 for the invariant each analyzer enforces and the suppression contract")
+	}
+}

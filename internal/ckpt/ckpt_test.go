@@ -5,7 +5,9 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"maps"
 	"math"
+	"slices"
 	"strings"
 	"testing"
 
@@ -151,7 +153,7 @@ func TestLatestPicksNewestCompleteEpoch(t *testing.T) {
 }
 
 func TestLatestSkipsTornEpoch(t *testing.T) {
-	for name, tear := range map[string]func(fs vfs.FS){
+	tears := map[string]func(fs vfs.FS){
 		"missing-chunk": func(fs vfs.FS) {
 			if err := fs.Remove(ChunkName("ck", 8, 1)); err != nil {
 				panic(err)
@@ -176,7 +178,9 @@ func TestLatestSkipsTornEpoch(t *testing.T) {
 			w.Write(b[:len(b)/2])
 			w.Close()
 		},
-	} {
+	}
+	for _, name := range slices.Sorted(maps.Keys(tears)) {
+		tear := tears[name]
 		t.Run(name, func(t *testing.T) {
 			fs := vfs.NewMem()
 			writeEpoch(t, fs, "ck", 4, 40, 3)

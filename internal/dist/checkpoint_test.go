@@ -12,6 +12,8 @@ import (
 	"context"
 	"errors"
 	"io"
+	"maps"
+	"slices"
 	"strings"
 	"testing"
 
@@ -361,7 +363,7 @@ func TestCheckpointSpecValidation(t *testing.T) {
 		Op: dist.OpRun, Edges: l, N: n, Procs: 2,
 		PageRank: pagerank.Options{Seed: 5, Iterations: 10},
 	}
-	for name, mutate := range map[string]func(*dist.Spec){
+	mutations := map[string]func(*dist.Spec){
 		"kill-rank-out-of-range": func(s *dist.Spec) {
 			s.Fault = &dist.FaultPlan{KillRank: 2, AtIteration: 1}
 		},
@@ -389,7 +391,9 @@ func TestCheckpointSpecValidation(t *testing.T) {
 			s.Op = dist.OpSort
 			s.Fault = &dist.FaultPlan{AtIteration: 1}
 		},
-	} {
+	}
+	for _, name := range slices.Sorted(maps.Keys(mutations)) {
+		mutate := mutations[name]
 		t.Run(name, func(t *testing.T) {
 			spec := base
 			mutate(&spec)

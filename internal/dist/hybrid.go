@@ -247,6 +247,7 @@ func partitionChunk(l *edge.List, lo, hi int, splitters []uint64, p, workers int
 			parts[w][d] = edge.NewList(0)
 		}
 		wg.Add(1)
+		//prlint:allow determinism -- partition workers own disjoint index ranges and join on wg; output order is fixed by the range split
 		go func(w, wlo, whi int) {
 			defer wg.Done()
 			mine := parts[w]

@@ -220,6 +220,7 @@ func spawnRanks(ctx context.Context, p int, program func(c *rankComm) rankOutcom
 	var stopWatch chan struct{}
 	if ctx.Done() != nil {
 		stopWatch = make(chan struct{})
+		//prlint:allow determinism -- cancellation watcher: joins via stopWatch before spawnRanks returns, never touches results
 		go func() {
 			select {
 			case <-ctx.Done():
@@ -235,6 +236,7 @@ func spawnRanks(ctx context.Context, p int, program func(c *rankComm) rankOutcom
 	for r := 0; r < p; r++ {
 		comms[r] = f.comm(r)
 		wg.Add(1)
+		//prlint:allow determinism -- the rank spawner IS the simulated machine; ranks sync only through the metered fabric and join on wg
 		go func(r int) {
 			defer wg.Done()
 			// Runs after the recover below: a rank that failed for any
@@ -255,8 +257,10 @@ func spawnRanks(ctx context.Context, p int, program func(c *rankComm) rankOutcom
 					panic(e)
 				}
 			}()
+			//prlint:allow determinism -- wall-clock feeds only the reported per-rank timing, never the kernel results
 			start := time.Now()
 			outcomes[r] = program(comms[r])
+			//prlint:allow determinism -- wall-clock feeds only the reported per-rank timing, never the kernel results
 			seconds[r] = time.Since(start).Seconds()
 		}(r)
 	}

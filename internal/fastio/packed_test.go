@@ -3,7 +3,9 @@ package fastio
 import (
 	"bytes"
 	"io"
+	"maps"
 	"math"
+	"slices"
 	"strings"
 	"testing"
 
@@ -72,7 +74,9 @@ func degenerateLists() map[string]*edge.List {
 }
 
 func TestPackedRoundTripDegenerate(t *testing.T) {
-	for name, l := range degenerateLists() {
+	lists := degenerateLists()
+	for _, name := range slices.Sorted(maps.Keys(lists)) {
+		l := lists[name]
 		t.Run(name, func(t *testing.T) {
 			got := decodePacked(t, encodePacked(t, l))
 			if !got.Equal(l) {
@@ -83,8 +87,10 @@ func TestPackedRoundTripDegenerate(t *testing.T) {
 }
 
 func TestAllCodecsRoundTripDegenerate(t *testing.T) {
+	lists := degenerateLists()
 	for _, c := range Codecs() {
-		for name, l := range degenerateLists() {
+		for _, name := range slices.Sorted(maps.Keys(lists)) {
+			l := lists[name]
 			t.Run(c.Name()+"/"+name, func(t *testing.T) {
 				var buf bytes.Buffer
 				w := c.NewWriter(&buf)
@@ -228,7 +234,8 @@ func TestPackedCorruption(t *testing.T) {
 		"payloadTooLong":  mk(append([]byte{0x01, 0x7F}, make([]byte, 127)...)),
 		"truncPayload":    mk([]byte{0x02, 0x04, 1, 1}),
 	}
-	for name, b := range cases {
+	for _, name := range slices.Sorted(maps.Keys(cases)) {
+		b := cases[name]
 		t.Run(name, func(t *testing.T) {
 			r := Packed{}.NewReader(bytes.NewReader(b))
 			var err error

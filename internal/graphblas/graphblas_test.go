@@ -1,7 +1,9 @@
 package graphblas
 
 import (
+	"maps"
 	"math"
+	"slices"
 	"testing"
 	"testing/quick"
 
@@ -90,7 +92,8 @@ func TestMonoidLaws(t *testing.T) {
 	monoids := map[string]Monoid[float64]{
 		"plus": PlusFloat64, "times": TimesFloat64, "min": MinFloat64, "max": MaxFloat64,
 	}
-	for name, mon := range monoids {
+	for _, name := range slices.Sorted(maps.Keys(monoids)) {
+		mon := monoids[name]
 		t.Run(name, func(t *testing.T) {
 			err := quick.Check(func(aBits, bBits, cBits uint32) bool {
 				// Bounded floats to keep FP associativity exact-ish:

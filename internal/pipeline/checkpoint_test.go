@@ -3,7 +3,9 @@ package pipeline
 import (
 	"errors"
 	"io"
+	"maps"
 	"math"
+	"slices"
 	"strings"
 	"testing"
 
@@ -206,7 +208,8 @@ func TestCheckpointLoadRejectsTruncation(t *testing.T) {
 		"missing-checksum": len(full) - 4,
 		"mid-checksum":     len(full) - 2,
 	}
-	for name, cut := range cuts {
+	for _, name := range slices.Sorted(maps.Keys(cuts)) {
+		cut := cuts[name]
 		t.Run(name, func(t *testing.T) {
 			w, _ := fs.Create("c.state")
 			w.Write(full[:cut])

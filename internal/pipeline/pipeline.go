@@ -480,6 +480,8 @@ func VariantNames() []string {
 
 // Execute runs the full four-kernel pipeline under cfg and returns timing
 // results for every kernel.
+//
+// Deprecated: use ExecuteContext so callers control cancellation (§8).
 func Execute(cfg Config) (*Result, error) {
 	return ExecuteContext(context.Background(), cfg)
 }
@@ -493,6 +495,8 @@ func ExecuteContext(ctx context.Context, cfg Config) (*Result, error) {
 // independently as the paper allows, but each depends on its predecessor's
 // artifacts: running K2 without K1 in the same FS fails with a missing-file
 // error.
+//
+// Deprecated: use ExecuteKernelsContext so callers control cancellation (§8).
 func ExecuteKernels(cfg Config, kernels []Kernel) (*Result, error) {
 	return ExecuteKernelsContext(context.Background(), cfg, kernels)
 }

@@ -480,6 +480,7 @@ func (a *CSR) ParallelMxV(out, x []float64, workers int) {
 		lo := w * a.N / workers
 		hi := (w + 1) * a.N / workers
 		wg.Add(1)
+		//prlint:allow determinism -- row-parallel MxV: workers write disjoint out[lo:hi] ranges and join on wg
 		go func(lo, hi int) {
 			defer wg.Done()
 			a.MxVRange(out, x, lo, hi)
@@ -548,6 +549,7 @@ func (a *CSR) ParallelVxMWith(out, r []float64, workers int, s *VxMScratch) {
 		lo := w * a.N / workers
 		hi := (w + 1) * a.N / workers
 		wg.Add(1)
+		//prlint:allow determinism -- per-worker accumulators are folded in fixed worker order after wg.Wait, so the FP sum is reproducible
 		go func(w, lo, hi int) {
 			defer wg.Done()
 			acc := s.acc[w][:a.N]

@@ -4,7 +4,9 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"maps"
 	"os"
+	"slices"
 	"sync"
 	"testing"
 )
@@ -48,7 +50,9 @@ func readFile(t *testing.T, fs FS, name string) string {
 }
 
 func TestRoundTrip(t *testing.T) {
-	for name, fs := range backends(t) {
+	bks := backends(t)
+	for _, name := range slices.Sorted(maps.Keys(bks)) {
+		fs := bks[name]
 		t.Run(name, func(t *testing.T) {
 			writeFile(t, fs, "a.tsv", "1\t2\n")
 			if got := readFile(t, fs, "a.tsv"); got != "1\t2\n" {
@@ -59,7 +63,9 @@ func TestRoundTrip(t *testing.T) {
 }
 
 func TestCreateTruncates(t *testing.T) {
-	for name, fs := range backends(t) {
+	bks := backends(t)
+	for _, name := range slices.Sorted(maps.Keys(bks)) {
+		fs := bks[name]
 		t.Run(name, func(t *testing.T) {
 			writeFile(t, fs, "f", "long old contents")
 			writeFile(t, fs, "f", "new")
@@ -71,7 +77,9 @@ func TestCreateTruncates(t *testing.T) {
 }
 
 func TestOpenMissing(t *testing.T) {
-	for name, fs := range backends(t) {
+	bks := backends(t)
+	for _, name := range slices.Sorted(maps.Keys(bks)) {
+		fs := bks[name]
 		t.Run(name, func(t *testing.T) {
 			if _, err := fs.Open("nope"); !errors.Is(err, os.ErrNotExist) {
 				t.Errorf("Open missing: err = %v, want ErrNotExist", err)
@@ -81,7 +89,9 @@ func TestOpenMissing(t *testing.T) {
 }
 
 func TestRemove(t *testing.T) {
-	for name, fs := range backends(t) {
+	bks := backends(t)
+	for _, name := range slices.Sorted(maps.Keys(bks)) {
+		fs := bks[name]
 		t.Run(name, func(t *testing.T) {
 			writeFile(t, fs, "x", "data")
 			if err := fs.Remove("x"); err != nil {
@@ -98,7 +108,9 @@ func TestRemove(t *testing.T) {
 }
 
 func TestListSorted(t *testing.T) {
-	for name, fs := range backends(t) {
+	bks := backends(t)
+	for _, name := range slices.Sorted(maps.Keys(bks)) {
+		fs := bks[name]
 		t.Run(name, func(t *testing.T) {
 			for _, f := range []string{"b", "a", "c"} {
 				writeFile(t, fs, f, f)
@@ -121,7 +133,9 @@ func TestListSorted(t *testing.T) {
 }
 
 func TestSize(t *testing.T) {
-	for name, fs := range backends(t) {
+	bks := backends(t)
+	for _, name := range slices.Sorted(maps.Keys(bks)) {
+		fs := bks[name]
 		t.Run(name, func(t *testing.T) {
 			writeFile(t, fs, "s", "12345")
 			n, err := fs.Size("s")
@@ -139,7 +153,9 @@ func TestSize(t *testing.T) {
 }
 
 func TestSubdirectoryNames(t *testing.T) {
-	for name, fs := range backends(t) {
+	bks := backends(t)
+	for _, name := range slices.Sorted(maps.Keys(bks)) {
+		fs := bks[name]
 		t.Run(name, func(t *testing.T) {
 			writeFile(t, fs, "k0/part-0.tsv", "0\t0\n")
 			if got := readFile(t, fs, "k0/part-0.tsv"); got != "0\t0\n" {
@@ -248,7 +264,9 @@ func TestRename(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for name, fs := range map[string]FS{"mem": NewMem(), "dir": dir} {
+	bks := map[string]FS{"mem": NewMem(), "dir": dir}
+	for _, name := range slices.Sorted(maps.Keys(bks)) {
+		fs := bks[name]
 		t.Run(name, func(t *testing.T) {
 			w, _ := fs.Create("a.tmp")
 			io.WriteString(w, "payload")

@@ -174,6 +174,7 @@ func ParallelByU(l *edge.List, workers int) {
 			continue
 		}
 		wg.Add(1)
+		//prlint:allow determinism -- workers radix-sort disjoint slices and join on wg; the merge below fixes the final order
 		go func(sub *edge.List) {
 			defer wg.Done()
 			RadixByU(sub)
@@ -195,6 +196,7 @@ func ParallelByU(l *edge.List, workers int) {
 			a, b := runs[i], runs[i+1]
 			next = append(next, [2]int{a[0], b[1]})
 			mwg.Add(1)
+			//prlint:allow determinism -- pairwise merges touch disjoint [a,b) ranges and join on mwg each round
 			go func(a, b [2]int) {
 				defer mwg.Done()
 				mergeRuns(l, buf, a[0], a[1], b[1])

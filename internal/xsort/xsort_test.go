@@ -1,6 +1,8 @@
 package xsort
 
 import (
+	"maps"
+	"slices"
 	"testing"
 	"testing/quick"
 
@@ -30,7 +32,8 @@ var byUSorters = map[string]func(*edge.List){
 }
 
 func TestSortersByU(t *testing.T) {
-	for name, sortFn := range byUSorters {
+	for _, name := range slices.Sorted(maps.Keys(byUSorters)) {
+		sortFn := byUSorters[name]
 		t.Run(name, func(t *testing.T) {
 			l := randomList(1, 2000, 1<<16)
 			orig := l.Clone()
@@ -46,7 +49,8 @@ func TestSortersByU(t *testing.T) {
 }
 
 func TestSortersEdgeCases(t *testing.T) {
-	for name, sortFn := range byUSorters {
+	for _, name := range slices.Sorted(maps.Keys(byUSorters)) {
+		sortFn := byUSorters[name]
 		t.Run(name, func(t *testing.T) {
 			empty := edge.NewList(0)
 			sortFn(empty)
@@ -111,7 +115,9 @@ func TestRadixStability(t *testing.T) {
 }
 
 func TestByUVOrders(t *testing.T) {
-	for name, s := range map[string]func(*edge.List){"ByUV": ByUV, "RadixByUV": RadixByUV} {
+	byUVSorters := map[string]func(*edge.List){"ByUV": ByUV, "RadixByUV": RadixByUV}
+	for _, name := range slices.Sorted(maps.Keys(byUVSorters)) {
+		s := byUVSorters[name]
 		t.Run(name, func(t *testing.T) {
 			l := randomList(5, 1500, 64) // small range forces many U ties
 			orig := l.Clone()
@@ -236,7 +242,8 @@ func TestExternalFailureLeavesNoRunFiles(t *testing.T) {
 		"merge-read-fails": {budget: writeBytes + 8, sink: fastio.NewListSink(edge.NewList(0))},
 		"merge-sink-fails": {budget: 1 << 40, sink: &failingSink{budget: edges / 2}},
 	}
-	for name, tc := range cases {
+	for _, name := range slices.Sorted(maps.Keys(cases)) {
+		tc := cases[name]
 		t.Run(name, func(t *testing.T) {
 			mem := vfs.NewMem()
 			_, err := External(fastio.NewListSource(l), tc.sink, ExternalConfig{
