@@ -52,10 +52,20 @@
 //	prbench -scale 14 -variant distgo -checkpoint-every 3 -inject-fault 1@7
 //	prbench -scale 14 -variant distgo -checkpoint-every 3 -inject-fault 1@6@ckpt
 //
-// Machine-readable output for the perf trajectory (single pipeline runs;
-// schema documented in the README, archived as BENCH_*.json by CI):
+// Staged-artifact-cache ablation: -cachesweep runs every variant cold
+// then warm against a fresh service and tabulates the wall-clock
+// speedup next to the warm run's per-stage hit/miss counters and the
+// cache's resident footprint; -cachebudget bounds the cache in bytes:
+//
+//	prbench -scale 16 -cachesweep
+//	prbench -scale 16 -cachesweep -variant csr,dist -cachebudget 268435456
+//
+// Machine-readable output for the perf trajectory (single pipeline runs
+// and -cachesweep; schema documented in the README, archived as
+// BENCH_*.json by CI):
 //
 //	prbench -scale 14 -variant distgo -rankworkers 4 -json
+//	prbench -scale 16 -cachesweep -json
 //
 // Hardware-model predictions for the paper's platform:
 //
@@ -72,6 +82,7 @@ import (
 	"os/signal"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/dist"
@@ -114,8 +125,10 @@ func main() {
 		ckptEvery   = flag.Int("checkpoint-every", 0, "checkpoint the distributed kernel 3 every N iterations and report the overhead against an uncheckpointed baseline (dist variants)")
 		ckptDir     = flag.String("checkpoint-dir", "", "durable storage directory for -checkpoint-every epochs (empty = in-memory)")
 		injectFault = flag.String("inject-fault", "", `kill a rank mid-kernel-3 and resume: "RANK@ITER" fires after ITER completed iterations, "RANK@ITER@ckpt" fires during the epoch write (requires -checkpoint-every)`)
+		cacheSweep  = flag.Bool("cachesweep", false, "run each variant cold then warm against the staged artifact cache and tabulate the speedup, per-stage hit/miss counters and resident cache bytes")
+		cacheBudget = flag.Int64("cachebudget", 0, "staged-cache byte budget (0 = the default entry-capped cache); applies to single runs and -cachesweep")
 		output      = flag.String("output", "table", "output format: table, csv, markdown")
-		jsonOut     = flag.Bool("json", false, "emit a machine-readable prbench/v2 JSON report (single pipeline runs; schema in README)")
+		jsonOut     = flag.Bool("json", false, "emit a machine-readable prbench/v3 JSON report (single pipeline runs and -cachesweep; schema in README)")
 		ascii       = flag.Bool("ascii", true, "sweep: also draw ASCII log-log plots")
 	)
 	flag.Parse()
@@ -126,7 +139,11 @@ func main() {
 	// once per sweep, not once per table cell.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
-	svc := core.NewService()
+	var svcOpts []core.ServiceOption
+	if *cacheBudget > 0 {
+		svcOpts = append(svcOpts, core.WithCacheBudget(*cacheBudget))
+	}
+	svc := core.NewService(svcOpts...)
 	defer svc.Close()
 
 	rw, err := parseIntList(*rankWorkers)
@@ -144,6 +161,27 @@ func main() {
 	}
 	if *predict {
 		printPredictions(*scale, *output)
+		return
+	}
+	if *cacheSweep {
+		if *sweep || *formatSweep || *procSweep != "" || *procs > 0 || *ckptEvery > 0 {
+			fatal(fmt.Errorf("-cachesweep is its own mode; drop -sweep/-formatsweep/-procsweep/-procs/-checkpoint-every"))
+		}
+		// A bare -cachesweep ablates every variant; an explicit -variant
+		// (other than "all") narrows it to a comma list.
+		variants := core.Variants()
+		variantSet := false
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "variant" {
+				variantSet = true
+			}
+		})
+		if variantSet && *variant != "all" {
+			variants = strings.Split(*variant, ",")
+		}
+		if err := runCacheSweep(ctx, *scale, *edgeFactor, *seed, *nfiles, variants, *cacheBudget, *workers, *iterations, *damping, *dangling, *output, *jsonOut); err != nil {
+			fatal(err)
+		}
 		return
 	}
 	if *formatSweep {
@@ -223,7 +261,7 @@ func main() {
 		fatal(err)
 	}
 	if *jsonOut {
-		if err := printResultJSON(res); err != nil {
+		if err := printResultJSON(res, *cacheBudget); err != nil {
 			fatal(err)
 		}
 		return
@@ -282,11 +320,14 @@ func emit(t *results.Table, format string) {
 	}
 }
 
-// The prbench/v2 JSON schema (documented in the README): one object per
+// The prbench/v3 JSON schema (documented in the README): one object per
 // pipeline run, the per-kernel rows of the table plus the allocation and
 // communication counters that seed the BENCH_*.json perf trajectory.
-// v2 adds the edge-file format, the encoded kernel-0/kernel-1 file
-// footprints, and the out-of-core spill record.
+// v2 added the edge-file format, the encoded kernel-0/kernel-1 file
+// footprints, and the out-of-core spill record.  v3 adds the staged
+// artifact cache: the run's per-stage hit/miss record, the configured
+// byte budget, and the -cachesweep report (a second object shape under
+// the same schema string, distinguished by its "cacheSweep" array).
 type jsonKernel struct {
 	Kernel         string  `json:"kernel"`
 	Seconds        float64 `json:"seconds"`
@@ -311,6 +352,31 @@ type jsonSpill struct {
 	BytesRead    int64  `json:"bytesRead"`
 }
 
+type jsonCacheStage struct {
+	Hits   uint64 `json:"hits"`
+	Misses uint64 `json:"misses"`
+}
+
+// jsonCacheStats is a run's per-stage staged-cache record.  A hit at a
+// deeper stage short-circuits the shallower ones, so a warm run shows a
+// matrix hit and zeros elsewhere.
+type jsonCacheStats struct {
+	Edges  jsonCacheStage `json:"edges"`
+	Sorted jsonCacheStage `json:"sorted"`
+	Matrix jsonCacheStage `json:"matrix"`
+}
+
+func newJSONCacheStats(c *core.CacheStats) *jsonCacheStats {
+	if c == nil {
+		return nil
+	}
+	return &jsonCacheStats{
+		Edges:  jsonCacheStage{Hits: c.Edges.Hits, Misses: c.Edges.Misses},
+		Sorted: jsonCacheStage{Hits: c.Sorted.Hits, Misses: c.Sorted.Misses},
+		Matrix: jsonCacheStage{Hits: c.Matrix.Hits, Misses: c.Matrix.Misses},
+	}
+}
+
 type jsonReport struct {
 	Schema       string           `json:"schema"`
 	Scale        int              `json:"scale"`
@@ -332,12 +398,14 @@ type jsonReport struct {
 	Iterations   int              `json:"iterations,omitempty"`
 	Comm         *jsonComm        `json:"comm,omitempty"`
 	Spill        *jsonSpill       `json:"spill,omitempty"`
+	Cache        *jsonCacheStats  `json:"cache,omitempty"`
+	CacheBudget  int64            `json:"cacheBudgetBytes,omitempty"`
 }
 
-// printResultJSON emits the prbench/v2 report for one pipeline run.
-func printResultJSON(res *core.Result) error {
+// printResultJSON emits the prbench/v3 report for one pipeline run.
+func printResultJSON(res *core.Result, cacheBudget int64) error {
 	rep := jsonReport{
-		Schema:      "prbench/v2",
+		Schema:      "prbench/v3",
 		Scale:       res.Config.Scale,
 		EdgeFactor:  res.Config.EdgeFactor,
 		Seed:        res.Config.Seed,
@@ -353,6 +421,8 @@ func printResultJSON(res *core.Result) error {
 		NNZ:         res.NNZ,
 		MatrixMass:  res.MatrixMass,
 		Iterations:  res.RankIterations,
+		Cache:       newJSONCacheStats(res.Cache),
+		CacheBudget: cacheBudget,
 	}
 	// The encoded footprint of the surviving edge files: measured from
 	// the run's FS, absent for any stage whose files were not produced.
@@ -472,6 +542,114 @@ func runSweep(ctx context.Context, minScale, maxScale, edgeFactor int, seed uint
 		}
 		fmt.Println()
 	}
+	return nil
+}
+
+// jsonCacheSweepRow is one variant's cold/warm measurement in the
+// -cachesweep -json report.  WarmCache is absent for variants that opt
+// out of every cache stage (parallel) — their warm run recomputes all
+// four kernels.
+type jsonCacheSweepRow struct {
+	Variant         string          `json:"variant"`
+	ColdSeconds     float64         `json:"coldSeconds"`
+	WarmSeconds     float64         `json:"warmSeconds"`
+	Speedup         float64         `json:"speedup"`
+	WarmCache       *jsonCacheStats `json:"warmCache,omitempty"`
+	ResidentEntries int             `json:"residentCacheEntries"`
+	ResidentBytes   int64           `json:"residentCacheBytes"`
+}
+
+// jsonCacheSweep is the -cachesweep shape of the prbench/v3 schema.
+type jsonCacheSweep struct {
+	Schema      string              `json:"schema"`
+	Scale       int                 `json:"scale"`
+	EdgeFactor  int                 `json:"edgeFactor"`
+	Seed        uint64              `json:"seed"`
+	Iterations  int                 `json:"iterations"`
+	CacheBudget int64               `json:"cacheBudgetBytes,omitempty"`
+	Sweep       []jsonCacheSweepRow `json:"cacheSweep"`
+}
+
+// runCacheSweep is the staged-artifact-cache ablation: each variant runs
+// the same configuration twice against its own fresh service — cold,
+// then warm — and the table reports the wall-clock speedup next to the
+// warm run's per-stage hit/miss counters and the cache's resident
+// footprint.  The warm ranks are cross-checked bit for bit against the
+// cold run's: the cache trades time, never output.
+func runCacheSweep(ctx context.Context, scale, edgeFactor int, seed uint64, nfiles int, variants []string, budget int64, workers, iterations int, damping float64, dangling bool, output string, jsonOut bool) error {
+	rows := make([]jsonCacheSweepRow, 0, len(variants))
+	for _, v := range variants {
+		opts := []core.ServiceOption{core.WithMaxConcurrent(1)}
+		if budget > 0 {
+			opts = append(opts, core.WithCacheBudget(budget))
+		}
+		svc := core.NewService(opts...)
+		cfg := core.Config{
+			Scale: scale, EdgeFactor: edgeFactor, Seed: seed, NFiles: nfiles,
+			Variant: v, Workers: workers, KeepRank: true,
+			PageRank: pagerank.Options{Iterations: iterations, Damping: damping, Dangling: dangling},
+		}
+		run := func(what string) (*core.Result, float64, error) {
+			start := time.Now()
+			res, err := svc.Run(ctx, cfg)
+			if err != nil {
+				return nil, 0, fmt.Errorf("%s %s: %w", v, what, err)
+			}
+			return res, time.Since(start).Seconds(), nil
+		}
+		cold, coldS, err := run("cold")
+		if err != nil {
+			svc.Close()
+			return err
+		}
+		warm, warmS, err := run("warm")
+		if err != nil {
+			svc.Close()
+			return err
+		}
+		for i := range cold.Rank {
+			if cold.Rank[i] != warm.Rank[i] {
+				svc.Close()
+				return fmt.Errorf("%s: warm rank vector diverges from cold at %d", v, i)
+			}
+		}
+		st := svc.Stats()
+		rows = append(rows, jsonCacheSweepRow{
+			Variant: v, ColdSeconds: coldS, WarmSeconds: warmS,
+			Speedup:         coldS / warmS,
+			WarmCache:       newJSONCacheStats(warm.Cache),
+			ResidentEntries: st.CacheEntries,
+			ResidentBytes:   st.CacheBytes,
+		})
+		svc.Close()
+		fmt.Fprintf(os.Stderr, "done variant=%s cold=%.3fs warm=%.3fs\n", v, coldS, warmS)
+	}
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(jsonCacheSweep{
+			Schema: "prbench/v3", Scale: scale, EdgeFactor: edgeFactor,
+			Seed: seed, Iterations: iterations, CacheBudget: budget, Sweep: rows,
+		})
+	}
+	t := results.NewTable(
+		fmt.Sprintf("Staged-cache cold/warm ablation: scale %d, %d iterations", scale, iterations),
+		"variant", "cold s", "warm s", "speedup", "edges h/m", "sorted h/m", "matrix h/m", "cache MB")
+	for _, r := range rows {
+		eh, sh, mh := "-", "-", "-"
+		if r.WarmCache != nil {
+			hm := func(s jsonCacheStage) string { return fmt.Sprintf("%d/%d", s.Hits, s.Misses) }
+			eh, sh, mh = hm(r.WarmCache.Edges), hm(r.WarmCache.Sorted), hm(r.WarmCache.Matrix)
+		}
+		t.AddRow(r.Variant,
+			fmt.Sprintf("%.4f", r.ColdSeconds),
+			fmt.Sprintf("%.4f", r.WarmSeconds),
+			fmt.Sprintf("%.2fx", r.Speedup),
+			eh, sh, mh,
+			fmt.Sprintf("%.2f", float64(r.ResidentBytes)/1e6))
+	}
+	emit(t, output)
+	fmt.Println("cross-check: warm rank vectors bit-for-bit identical to cold")
 	return nil
 }
 

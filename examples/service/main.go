@@ -1,18 +1,23 @@
 // Service: the production-shaped session API — one long-lived
 // core.Service handling many concurrent benchmark runs.
 //
-// Three scenes:
+// Four scenes:
 //
-//  1. Fan-in: seven concurrent runs of the same graph through different
-//     variants.  The service's singleflight generator cache makes the
-//     whole batch generate kernel 0 exactly once (1 miss, 6 hits) while
-//     the admission queue caps how many execute at a time.
+//  1. Fan-in: eight concurrent runs of the same graph through different
+//     variants.  The service's staged artifact cache singleflights the
+//     shared kernel-2 matrix: one run computes it, the other seven join
+//     the in-flight fill (1 miss, 7 hits) while the admission queue
+//     caps how many execute at a time.
 //
-//  2. Streaming: one run observed live through RunStream — per-kernel
-//     boundaries and per-iteration kernel-3 ticks instead of "wait for
-//     the whole Result".
+//  2. Warm run: the same configuration again is served straight from
+//     the cached matrix — kernels 0-2 never run, only kernel 3
+//     executes.
 //
-//  3. Cancellation: a run cancelled mid-kernel-3 returns
+//  3. Streaming: a warm run observed live through RunStream — the
+//     cache-hit event, then per-kernel boundaries and per-iteration
+//     kernel-3 ticks instead of "wait for the whole Result".
+//
+//  4. Cancellation: a run cancelled mid-kernel-3 returns
 //     context.Canceled promptly, in the goroutine-rank execution mode,
 //     with every rank goroutine torn down.
 //
@@ -35,12 +40,13 @@ func main() {
 	svc := core.NewService(core.WithMaxConcurrent(4))
 	defer svc.Close()
 
-	// --- Scene 1: seven concurrent runs, one generated graph. ---------
-	// ("parallel" and "extsort" are absent by design: the former
-	// generates with per-worker jump streams — a different edge order —
-	// and the latter streams kernel 0 in bounded memory; both bypass
-	// the shared cache.)
-	variants := []string{"csr", "coo", "columnar", "distext", "graphblas", "dist", "distgo"}
+	// --- Scene 1: eight concurrent runs, one computed matrix. ---------
+	// ("parallel" is absent by design: it generates with per-worker jump
+	// streams — a different edge multiset per worker count — so it opts
+	// out of every cache stage.  extsort streams kernel 0 in bounded
+	// memory, skipping the list stages, but shares the canonical
+	// kernel-2 matrix like everyone else.)
+	variants := []string{"csr", "coo", "columnar", "distext", "graphblas", "dist", "distgo", "extsort"}
 	results := make([]*core.Result, len(variants))
 	var wg sync.WaitGroup
 	for i, v := range variants {
@@ -61,16 +67,30 @@ func main() {
 		fmt.Printf("  %-10s nnz=%d  %.4g edges/s\n", v, results[i].NNZ, k3.EdgesPerSecond)
 	}
 	st := svc.Stats()
-	fmt.Printf("generator cache after the batch: %d misses, %d hits — kernel 0 ran once for all %d runs\n\n",
-		st.CacheMisses, st.CacheHits, len(variants))
+	fmt.Printf("staged cache after the batch: matrix %d miss / %d hits — kernels 0-2 ran once for all %d runs (%d bytes resident)\n\n",
+		st.CacheMatrix.Misses, st.CacheMatrix.Hits, len(variants), st.CacheBytes)
 
-	// --- Scene 2: streaming progress. ---------------------------------
+	// --- Scene 2: a warm run is kernel-3-bound. -----------------------
+	warm, err := svc.Run(ctx, core.Config{Scale: 12, Seed: 7, Variant: "csr"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("warm csr run: hit the cached kernel-2 matrix (matrix %d hit), executed %d kernel(s):\n",
+		warm.Cache.Matrix.Hits, len(warm.Kernels))
+	for _, k := range warm.Kernels {
+		fmt.Printf("  %-18v %.4fs\n", k.Kernel, k.Seconds)
+	}
+	fmt.Println()
+
+	// --- Scene 3: streaming progress (warm). --------------------------
 	fmt.Println("streaming one distgo run:")
 	iterations := 0
 	for ev := range svc.RunStream(ctx, core.Config{Scale: 12, Seed: 7, Variant: "distgo"}) {
 		switch ev.Kind {
 		case core.EventRunStarted:
 			fmt.Println("  run started (cleared admission)")
+		case core.EventCacheHit:
+			fmt.Printf("  cache hit at %v — kernels 0-2 skipped\n", ev.Kernel)
 		case core.EventKernelEnd:
 			fmt.Printf("  %-18v %.4fs\n", ev.Kernel, ev.KernelResult.Seconds)
 		case core.EventIteration:
@@ -83,14 +103,14 @@ func main() {
 		}
 	}
 
-	// --- Scene 3: cancellation mid-kernel-3. --------------------------
+	// --- Scene 4: cancellation mid-kernel-3. --------------------------
 	cctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	cfg := core.Config{
 		Scale: 12, Seed: 7, Variant: "distgo",
 		PageRank: pagerank.Options{Iterations: 1000},
 	}
-	_, err := svc.Run(cctx, cfg, core.WithProgress(func(ev core.PipelineEvent) {
+	_, err = svc.Run(cctx, cfg, core.WithProgress(func(ev core.PipelineEvent) {
 		if ev.Kind == core.EventPipelineIteration && ev.Iteration == 3 {
 			cancel() // pull the plug three iterations into kernel 3
 		}

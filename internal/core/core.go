@@ -14,13 +14,16 @@
 //		fmt.Printf("%v: %.3g edges/s\n", k.Kernel, k.EdgesPerSecond)
 //	}
 //
-// The Service is the context-aware session API (DESIGN.md §8): it
-// bounds concurrent runs, generates each distinct (generator, scale,
-// edgeFactor, seed) graph exactly once however many concurrent runs ask
-// for it (svc.Run), streams per-kernel and per-iteration progress
-// (svc.RunStream), and aborts mid-kernel on context cancellation.  The
-// one-shot core.Run remains for throwaway calls; prefer the Service
-// anywhere more than one run happens.
+// The Service is the context-aware session API (DESIGN.md §8, §12): it
+// bounds concurrent runs and memoizes each distinct (generator, scale,
+// edgeFactor, seed) graph's staged artifacts — the raw edge list, the
+// kernel-1 sorted list and the kernel-2 filtered, normalized matrix —
+// computing each exactly once however many concurrent runs ask for it,
+// so a warm svc.Run executes kernel 3 only.  It streams per-kernel,
+// per-iteration and cache-hit/miss progress (svc.RunStream) and aborts
+// mid-kernel on context cancellation.  The one-shot core.Run remains
+// for throwaway calls; prefer the Service anywhere more than one run
+// happens.
 //
 // The benchmark follows the IPDPS 2016 proposal "PageRank Pipeline
 // Benchmark" (Dreher, Byun, Hill, Gadepally, Kuszmaul, Kepner): kernel 0
@@ -88,12 +91,21 @@ type ServiceOption = serve.Option
 // RunOption configures one Service.Run or Service.RunStream call.
 type RunOption = serve.RunOption
 
-// GraphKey is the generator cache's key: the identity of a generated
-// graph.
+// GraphKey is the staged artifact cache's graph identity: two runs
+// agreeing on its fields draw from the same cached artifacts.
 type GraphKey = serve.GraphKey
 
 // ServiceStats is a snapshot of a Service's run and cache counters.
 type ServiceStats = serve.Stats
+
+// StageStats is one staged-cache level's counters within ServiceStats.
+type StageStats = serve.StageStats
+
+// CacheStats is a run's per-stage cache record (Result.Cache).
+type CacheStats = pipeline.CacheStats
+
+// StageCacheStats is one stage's hit/miss record within CacheStats.
+type StageCacheStats = pipeline.StageCacheStats
 
 // Event is one observation of a streaming run (Service.RunStream).
 type Event = serve.Event
@@ -107,6 +119,8 @@ const (
 	EventRunEnd             = serve.EventRunEnd
 	EventCheckpointSaved    = serve.EventCheckpointSaved
 	EventCheckpointRestored = serve.EventCheckpointRestored
+	EventCacheHit           = serve.EventCacheHit
+	EventCacheMiss          = serve.EventCacheMiss
 )
 
 // NewService constructs the long-lived Service.  The default admits
@@ -116,8 +130,16 @@ func NewService(opts ...ServiceOption) *Service { return serve.New(opts...) }
 // WithMaxConcurrent bounds the Service's concurrently executing runs.
 func WithMaxConcurrent(n int) ServiceOption { return serve.WithMaxConcurrent(n) }
 
-// WithCacheCapacity bounds the Service's generator cache (0 disables it).
+// WithCacheCapacity bounds the Service's staged artifact cache to n
+// resident entries per stage (0 disables it).
+//
+// Deprecated: use WithCacheBudget.
 func WithCacheCapacity(n int) ServiceOption { return serve.WithCacheCapacity(n) }
+
+// WithCacheBudget bounds the Service's staged artifact cache to the
+// given number of resident bytes across all stages, LRU-evicted with
+// artifacts charged at their real footprint (<= 0 disables it).
+func WithCacheBudget(bytes int64) ServiceOption { return serve.WithCacheBudget(bytes) }
 
 // WithKernels restricts a Service run to the listed kernels.
 func WithKernels(ks ...Kernel) RunOption { return serve.WithKernels(ks...) }
@@ -143,6 +165,8 @@ const (
 	EventPipelineIteration          = pipeline.EventIteration
 	EventPipelineCheckpointSaved    = pipeline.EventCheckpointSaved
 	EventPipelineCheckpointRestored = pipeline.EventCheckpointRestored
+	EventPipelineCacheHit           = pipeline.EventCacheHit
+	EventPipelineCacheMiss          = pipeline.EventCacheMiss
 )
 
 // CheckpointSpec configures epoch checkpoint/restart of the distributed

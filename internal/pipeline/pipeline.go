@@ -128,6 +128,26 @@ type Config struct {
 	// which is what lets the service layer share one list across
 	// concurrent runs.  The hook sees the defaulted Config.
 	Source func(Config) (*edge.List, bool, error)
+	// SortedSource, when non-nil, lets the run exchange the kernel-1
+	// sorted edge list with an external staged cache.  The runner
+	// consults it once before the kernels start (when both K1 and K2
+	// are scheduled and the variant participates — see CacheTraits): a
+	// hit skips kernels 0 and 1 entirely and kernel 2 consumes the
+	// shared read-only list; a miss obligates the run to deposit its
+	// own kernel-1 output through the lease's Fill.  The hook sees the
+	// defaulted Config with SortEndVertices reflecting the variant's
+	// effective kernel-1 order (the columnar variant always sorts by
+	// (u, v)).  Interactions are metered in the Result's Cache record.
+	SortedSource func(Config) (SortedLease, error)
+	// MatrixSource is SortedSource's kernel-2 analogue: the deepest
+	// cache level, holding the filtered, normalized matrix.  A hit
+	// skips kernels 0–2 — a warm full-pipeline run performs only
+	// kernel 3 (the dist variants row-block the cached matrix across
+	// their ranks instead of recomputing it).  The kernel-2 matrix is
+	// canonical — column-sorted rows, duplicate edges accumulated —
+	// so it is bit-identical across all variants and safe to exchange
+	// between them.
+	MatrixSource func(Config) (MatrixLease, error)
 	// Progress, when non-nil, receives execution events: kernel start
 	// and end, and one event per kernel-3 iteration.  Callbacks run
 	// synchronously on the executing goroutine (rank 0's, for the dist
@@ -214,6 +234,17 @@ const (
 	// complete epoch before iterating, carrying the epoch's completed-
 	// iteration count in Iteration.
 	EventCheckpointRestored
+	// EventCacheHit fires when an external staged-cache source
+	// (Config.Source / SortedSource / MatrixSource) serves an artifact.
+	// Kernel identifies the artifact's producing stage (K0Generate for
+	// the raw edge list, K1Sort for the sorted list, K2Filter for the
+	// filtered matrix); the producing kernels are skipped, so they emit
+	// no start/end events of their own.
+	EventCacheHit
+	// EventCacheMiss fires when a staged-cache source was consulted but
+	// held no resident artifact: this run computes the artifact and
+	// deposits it.  Kernel identifies the artifact's producing stage.
+	EventCacheMiss
 )
 
 // String implements fmt.Stringer.
@@ -229,6 +260,10 @@ func (k EventKind) String() string {
 		return "checkpoint-saved"
 	case EventCheckpointRestored:
 		return "checkpoint-restored"
+	case EventCacheHit:
+		return "cache-hit"
+	case EventCacheMiss:
+		return "cache-miss"
 	default:
 		return fmt.Sprintf("event?(%d)", int(k))
 	}
@@ -250,11 +285,105 @@ type Event struct {
 // cache (Config.Source): how many kernel-0 edge lists were served from
 // cache versus generated.  A single full-pipeline run scores exactly one
 // hit or one miss.
+//
+// Deprecated: the staged cache generalizes this to CacheStats; GenCache
+// remains as an alias of the edges stage.
 type GenCacheStats struct {
 	// Hits counts edge lists served from the cache.
 	Hits uint64
 	// Misses counts edge lists that had to be generated.
 	Misses uint64
+}
+
+// StageCacheStats records one staged-cache level's interaction for a
+// single run.  A run scores at most one hit or one miss per consulted
+// stage.
+type StageCacheStats struct {
+	// Hits counts artifacts served from the cache.
+	Hits uint64
+	// Misses counts artifacts this run had to compute (and deposited).
+	Misses uint64
+}
+
+// CacheStats records a run's per-stage interaction with an external
+// staged artifact cache (Config.Source, SortedSource, MatrixSource).
+// A hit at a deeper stage short-circuits the shallower ones: a run that
+// hit the matrix stage never consulted the sorted or edges stages, so
+// their counters stay zero.
+type CacheStats struct {
+	// Edges is the raw kernel-0 edge-list stage (Config.Source).
+	Edges StageCacheStats
+	// Sorted is the kernel-1 sorted edge-list stage (SortedSource).
+	Sorted StageCacheStats
+	// Matrix is the kernel-2 filtered-matrix stage (MatrixSource).
+	Matrix StageCacheStats
+}
+
+// SortedLease is one SortedSource transaction.  On a hit, List carries
+// the shared kernel-1 artifact — read-only, like a sourced kernel-0
+// list; mutating consumers must copy.  On a miss, Fill is non-nil and
+// the runner MUST invoke it exactly once: with the run's own kernel-1
+// output on success, or with the failure (a cancelled or failed fill
+// is delivered to concurrent waiters and never cached, so the key is
+// not poisoned).
+type SortedLease struct {
+	// List is the cached sorted edge list (hits only).
+	List *edge.List
+	// Hit reports whether List was served from the cache.
+	Hit bool
+	// Fill deposits the artifact or the failure (misses only).
+	Fill func(l *edge.List, err error)
+}
+
+// MatrixLease is one MatrixSource transaction, with the same hit/fill
+// contract as SortedLease.  Mass carries the pre-filter matrix mass
+// (Result.MatrixMass) alongside the matrix so a warm run's Result is
+// complete without re-deriving it.
+type MatrixLease struct {
+	// Matrix is the cached filtered, normalized matrix (hits only).
+	Matrix *sparse.CSR
+	// Mass is sum(A) before filtering, recorded at fill time.
+	Mass float64
+	// Hit reports whether Matrix was served from the cache.
+	Hit bool
+	// Fill deposits the artifact or the failure (misses only).
+	Fill func(m *sparse.CSR, mass float64, err error)
+}
+
+// CacheTraits declares a variant's staged-cache participation.  A
+// variant that does not implement the optional interface
+//
+//	interface{ CacheTraits() CacheTraits }
+//
+// participates fully with the default kernel-1 order.  The extsort
+// variant opts out of the list stages (its kernel 0 streams in bounded
+// memory; no resident list exists to exchange) but shares the
+// canonical kernel-2 matrix; the parallel variant opts out of every
+// stage — its jump-stream generation draws a different edge multiset
+// per worker count, so its artifacts do not have GraphKey's identity.
+type CacheTraits struct {
+	// SortedArtifact reports kernels 1 and 2 exchange the sorted edge
+	// list with Config.SortedSource.
+	SortedArtifact bool
+	// SortsByUV reports kernel 1 always produces the full (u, v) order
+	// regardless of Config.SortEndVertices (the columnar variant), so
+	// its sorted artifact is keyed accordingly.
+	SortsByUV bool
+	// MatrixArtifact reports kernel 2's output can be exchanged with
+	// Config.MatrixSource.
+	MatrixArtifact bool
+}
+
+// cacheTraitser is the optional Variant interface declaring traits.
+type cacheTraitser interface{ CacheTraits() CacheTraits }
+
+// traitsOf resolves a variant's cache traits, defaulting to full
+// participation.
+func traitsOf(v Variant) CacheTraits {
+	if t, ok := v.(cacheTraitser); ok {
+		return t.CacheTraits()
+	}
+	return CacheTraits{SortedArtifact: true, MatrixArtifact: true}
 }
 
 // KernelResult is the timing record for one kernel.
@@ -299,8 +428,14 @@ type Result struct {
 	// Spill is the out-of-core kernel 1's run-file record (extsort and
 	// distext variants only; nil otherwise).
 	Spill *SpillStats
-	// GenCache is the run's generator-cache record (runs with a
-	// Config.Source only; nil when kernel 0 generated directly).
+	// Cache is the run's per-stage staged-cache record — non-nil only
+	// when a cache seam (Config.Source, SortedSource, MatrixSource)
+	// was actually consulted.
+	Cache *CacheStats
+	// GenCache mirrors Cache.Edges for callers of the original
+	// generator-cache seam; nil when the edges stage was not consulted.
+	//
+	// Deprecated: read Cache.Edges.
 	GenCache *GenCacheStats
 }
 
@@ -340,12 +475,28 @@ type Run struct {
 	// Spill records the out-of-core kernel 1's run-file traffic (extsort
 	// and distext variants; nil for in-memory sorts).
 	Spill *SpillStats
-	// GenCache records the generator-cache interaction when Cfg.Source
-	// is set (filled by sourceEdges).
-	GenCache *GenCacheStats
+	// Cache records the staged-cache interaction when any of the cache
+	// seams is set (filled by the runner and sourceEdges).
+	Cache *CacheStats
+	// SortedIn is the cache-shared kernel-1 artifact serving as kernel
+	// 2's input when the sorted stage hit.  It is read-only; kernel-2
+	// implementations route through sortedEdges/sortedEdgesMutable.
+	SortedIn *edge.List
+	// SortedOut is the kernel-1 output a participating variant records
+	// so the runner can deposit it into the cache on a sorted-stage
+	// miss.  The recorded list must not be mutated by later kernels.
+	SortedOut *edge.List
 	// ctx is the run's cancellation context; nil means background.
 	// Variants read it through Context().
 	ctx context.Context
+}
+
+// stageStats returns the run's cache record, allocating it on first use.
+func (r *Run) stageStats() *CacheStats {
+	if r.Cache == nil {
+		r.Cache = &CacheStats{}
+	}
+	return r.Cache
 }
 
 // Context returns the run's cancellation context.  Variants thread it
@@ -507,7 +658,7 @@ func ExecuteKernels(cfg Config, kernels []Kernel) (*Result, error) {
 // iterations and the distributed runtime between its phases — returning
 // ctx's error.  A background context changes nothing: results are
 // bit-for-bit those of ExecuteKernels.
-func ExecuteKernelsContext(ctx context.Context, cfg Config, kernels []Kernel) (*Result, error) {
+func ExecuteKernelsContext(ctx context.Context, cfg Config, kernels []Kernel) (res *Result, err error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -519,6 +670,89 @@ func ExecuteKernelsContext(ctx context.Context, cfg Config, kernels []Kernel) (*
 		cfg.FS = meter
 	}
 	run := &Run{Cfg: cfg, FS: cfg.FS, ctx: ctx}
+	scheduled := func(k Kernel) bool {
+		for _, kk := range kernels {
+			if kk == k {
+				return true
+			}
+		}
+		return false
+	}
+	// Staged-cache negotiation happens up front, deepest stage first
+	// (matrix, then sorted; the edges stage is consulted inside kernel 0
+	// by sourceEdges).  A hit marks the artifact's producing kernels
+	// skipped; a miss leaves this run a fill obligation it discharges
+	// when the producing kernel completes — or with the run's error,
+	// which concurrent waiters receive and retry past, so a cancelled
+	// fill never poisons the key.  The uniform matrix→sorted→edges
+	// acquisition order is what keeps concurrent same-key runs free of
+	// wait cycles: a run waiting to join stage s holds obligations only
+	// for stages consulted before s, and the filler it waits on can
+	// itself only be waiting at a stage consulted after s.
+	traits := traitsOf(v)
+	var skip [numKernels]bool
+	var sortedFill func(*edge.List, error)
+	var matrixFill func(*sparse.CSR, float64, error)
+	defer func() {
+		// Discharge unfulfilled obligations on every exit path so
+		// waiters are never stranded.
+		if matrixFill != nil {
+			matrixFill(nil, 0, fillAbortErr(err))
+		}
+		if sortedFill != nil {
+			sortedFill(nil, fillAbortErr(err))
+		}
+	}()
+	emitCache := func(k Kernel, hit bool) {
+		if cfg.Progress == nil {
+			return
+		}
+		kind := EventCacheMiss
+		if hit {
+			kind = EventCacheHit
+		}
+		cfg.Progress(Event{Kind: kind, Kernel: k})
+	}
+	if cfg.MatrixSource != nil && traits.MatrixArtifact && scheduled(K2Filter) {
+		lease, lerr := cfg.MatrixSource(cfg)
+		if lerr != nil {
+			if cerr := ctx.Err(); cerr != nil {
+				return nil, cerr
+			}
+			return nil, fmt.Errorf("pipeline: matrix source: %w", lerr)
+		}
+		if lease.Hit {
+			run.stageStats().Matrix.Hits++
+			run.Matrix = lease.Matrix
+			run.MatrixMass = lease.Mass
+			skip[K0Generate], skip[K1Sort], skip[K2Filter] = true, true, true
+		} else {
+			run.stageStats().Matrix.Misses++
+			matrixFill = lease.Fill
+		}
+		emitCache(K2Filter, lease.Hit)
+	}
+	if !skip[K1Sort] && cfg.SortedSource != nil && traits.SortedArtifact &&
+		scheduled(K1Sort) && scheduled(K2Filter) {
+		scfg := cfg
+		scfg.SortEndVertices = cfg.SortEndVertices || traits.SortsByUV
+		lease, lerr := cfg.SortedSource(scfg)
+		if lerr != nil {
+			if cerr := ctx.Err(); cerr != nil {
+				return nil, cerr
+			}
+			return nil, fmt.Errorf("pipeline: sorted source: %w", lerr)
+		}
+		if lease.Hit {
+			run.stageStats().Sorted.Hits++
+			run.SortedIn = lease.List
+			skip[K0Generate], skip[K1Sort] = true, true
+		} else {
+			run.stageStats().Sorted.Misses++
+			sortedFill = lease.Fill
+		}
+		emitCache(K1Sort, lease.Hit)
+	}
 	if cfg.Progress != nil {
 		// The kernel-3 engines' per-iteration hook feeds the same
 		// Progress stream as the kernel events below, composed with —
@@ -539,14 +773,21 @@ func ExecuteKernelsContext(ctx context.Context, cfg Config, kernels []Kernel) (*
 	// keep those alive for the Result's lifetime.
 	resCfg := cfg
 	resCfg.Source = nil
+	resCfg.SortedSource = nil
+	resCfg.MatrixSource = nil
 	resCfg.Progress = nil
 	resCfg.Checkpoint.OnCommit = nil
 	resCfg.Checkpoint.OnResume = nil
-	res := &Result{Config: resCfg}
+	res = &Result{Config: resCfg}
 	m := cfg.M()
 	for _, k := range kernels {
 		if err := ctx.Err(); err != nil {
 			return nil, err
+		}
+		if k >= 0 && k < numKernels && skip[k] {
+			// Served by a deeper cache stage: the artifact this kernel
+			// would produce (and its storage writes) already exist.
+			continue
 		}
 		var fn func(*Run) error
 		edges := m
@@ -582,6 +823,25 @@ func ExecuteKernelsContext(ctx context.Context, cfg Config, kernels []Kernel) (*
 			}
 			return nil, fmt.Errorf("pipeline: %v (%s): %w", k, cfg.Variant, err)
 		}
+		// Discharge cache fill obligations as soon as the producing
+		// kernel completes, so concurrent same-key waiters unblock
+		// before this run's remaining kernels.
+		if k == K1Sort && sortedFill != nil {
+			if run.SortedOut != nil {
+				sortedFill(run.SortedOut, nil)
+			} else {
+				sortedFill(nil, fmt.Errorf("pipeline: variant %q produced no sorted artifact", cfg.Variant))
+			}
+			sortedFill = nil
+		}
+		if k == K2Filter && matrixFill != nil {
+			if run.Matrix != nil {
+				matrixFill(run.Matrix, run.MatrixMass, nil)
+			} else {
+				matrixFill(nil, 0, fmt.Errorf("pipeline: variant %q produced no matrix artifact", cfg.Variant))
+			}
+			matrixFill = nil
+		}
 		secs := time.Since(start).Seconds()
 		var memAfter runtime.MemStats
 		runtime.ReadMemStats(&memAfter)
@@ -611,7 +871,11 @@ func ExecuteKernelsContext(ctx context.Context, cfg Config, kernels []Kernel) (*
 	res.Comm = run.Comm
 	res.Checkpoint = run.Checkpoint
 	res.Spill = run.Spill
-	res.GenCache = run.GenCache
+	res.Cache = run.Cache
+	if run.Cache != nil && run.Cache.Edges != (StageCacheStats{}) {
+		// Deprecated alias: the edges stage under its original name.
+		res.GenCache = &GenCacheStats{Hits: run.Cache.Edges.Hits, Misses: run.Cache.Edges.Misses}
+	}
 	return res, nil
 }
 
@@ -627,13 +891,17 @@ func sourceEdges(r *Run) (*edge.List, error) {
 		if err != nil {
 			return nil, err
 		}
-		if r.GenCache == nil {
-			r.GenCache = &GenCacheStats{}
-		}
 		if hit {
-			r.GenCache.Hits++
+			r.stageStats().Edges.Hits++
 		} else {
-			r.GenCache.Misses++
+			r.stageStats().Edges.Misses++
+		}
+		if r.Cfg.Progress != nil {
+			kind := EventCacheMiss
+			if hit {
+				kind = EventCacheHit
+			}
+			r.Cfg.Progress(Event{Kind: kind, Kernel: K0Generate})
 		}
 		return l, nil
 	}
@@ -642,6 +910,38 @@ func sourceEdges(r *Run) (*edge.List, error) {
 		return nil, err
 	}
 	return gen.Generate()
+}
+
+// fillAbortErr is the error an unfulfilled cache fill obligation is
+// discharged with when the run exits before the producing kernel
+// completed — the run's own error when it has one.
+func fillAbortErr(err error) error {
+	if err != nil {
+		return err
+	}
+	return fmt.Errorf("pipeline: run ended before the cached artifact was produced")
+}
+
+// sortedEdges obtains kernel 2's input: the cache-shared kernel-1
+// artifact when the sorted stage hit (Run.SortedIn), else the k1 edge
+// files.  A shared list is read-only; kernel-2 implementations that
+// mutate their input route through sortedEdgesMutable instead.
+func sortedEdges(r *Run) (*edge.List, error) {
+	if r.SortedIn != nil {
+		return r.SortedIn, nil
+	}
+	return fastio.ReadStriped(r.FS, "k1", r.Codec())
+}
+
+// sortedEdgesMutable is sortedEdges for consumers that modify the list
+// in place (the columnar kernel 2 filters its columns destructively):
+// a cache-shared artifact is deep-copied so the resident copy stays
+// pristine for other runs.
+func sortedEdgesMutable(r *Run) (*edge.List, error) {
+	if r.SortedIn != nil {
+		return r.SortedIn.Clone(), nil
+	}
+	return fastio.ReadStriped(r.FS, "k1", r.Codec())
 }
 
 // GenerateEdges invokes cfg's kernel-0 generator and returns the edge

@@ -47,12 +47,23 @@ func (columnarVariant) Kernel1(r *Run) error {
 		return err
 	}
 	xsort.RadixByUV(l)
+	r.SortedOut = l
 	return fastio.WriteStriped(r.FS, "k1", r.Codec(), r.Cfg.NFiles, l)
 }
 
-// Kernel2 implements Variant.
+// CacheTraits implements the optional staged-cache interface: this
+// variant's kernel 1 always sorts by (u, v), so its sorted artifact is
+// keyed as a (u, v)-ordered list and is exchangeable with the other
+// variants' SortEndVertices runs.
+func (columnarVariant) CacheTraits() CacheTraits {
+	return CacheTraits{SortedArtifact: true, SortsByUV: true, MatrixArtifact: true}
+}
+
+// Kernel2 implements Variant.  The column filter below rewrites the
+// list in place, so a cache-shared sorted artifact is deep-copied
+// first (sortedEdgesMutable) to keep the resident copy pristine.
 func (columnarVariant) Kernel2(r *Run) error {
-	l, err := fastio.ReadStriped(r.FS, "k1", r.Codec())
+	l, err := sortedEdgesMutable(r)
 	if err != nil {
 		return err
 	}

@@ -44,12 +44,13 @@ func (csrVariant) Kernel1(r *Run) error {
 	} else {
 		xsort.RadixByU(l)
 	}
+	r.SortedOut = l
 	return fastio.WriteStriped(r.FS, "k1", r.Codec(), r.Cfg.NFiles, l)
 }
 
 // Kernel2 implements Variant.
 func (csrVariant) Kernel2(r *Run) error {
-	l, err := fastio.ReadStriped(r.FS, "k1", r.Codec())
+	l, err := sortedEdges(r)
 	if err != nil {
 		return err
 	}

@@ -104,12 +104,16 @@ func (v distVariant) Kernel1(r *Run) error {
 		r.AddComm(out.Sort.Comm)
 		l = out.Sort.Sorted
 	}
+	r.SortedOut = l
 	return fastio.WriteStriped(r.FS, "k1", r.Codec(), r.Cfg.NFiles, l)
 }
 
-// Kernel2 implements Variant.
+// Kernel2 implements Variant.  On a sorted-stage cache hit the shared
+// list feeds OpBuildFiltered directly — dist.Spec.Edges is documented
+// never-modified, so sharing is safe; the runtime scatters (broadcasts)
+// the list's row blocks to the ranks exactly as for a cold run.
 func (v distVariant) Kernel2(r *Run) error {
-	l, err := fastio.ReadStriped(r.FS, "k1", r.Codec())
+	l, err := sortedEdges(r)
 	if err != nil {
 		return err
 	}

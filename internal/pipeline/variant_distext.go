@@ -93,5 +93,18 @@ func (v distextVariant) Kernel1(r *Run) error {
 		BytesWritten: out.ExtSort.Spill.BytesWritten,
 		BytesRead:    out.ExtSort.Spill.BytesRead,
 	}
+	r.SortedOut = out.ExtSort.Sorted
 	return fastio.WriteStriped(r.FS, "k1", r.Codec(), r.Cfg.NFiles, out.ExtSort.Sorted)
+}
+
+// CacheTraits implements the optional staged-cache interface.  The
+// distributed external sort materializes its merged output (unlike
+// extsort's fully streaming kernel 1), so the sorted artifact is
+// exchangeable on the default by-u path.  The SortEndVertices fallback
+// above streams through the serial external sort and records no sorted
+// artifact — a sorted-stage miss under that ablation deposits a
+// delivered-not-cached failure, which concurrent waiters simply retry
+// past; the matrix stage still serves warm runs.
+func (distextVariant) CacheTraits() CacheTraits {
+	return CacheTraits{SortedArtifact: true, MatrixArtifact: true}
 }

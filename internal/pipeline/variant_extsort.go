@@ -31,6 +31,16 @@ func (extsortVariant) Description() string {
 	return "out-of-core: streamed generation, external merge sort with bounded memory, streaming matrix build (the paper's out-of-memory regime)"
 }
 
+// CacheTraits implements the optional staged-cache interface: the list
+// stages are bypassed for the same reason Kernel0 bypasses Cfg.Source —
+// kernels 0–2 stream in bounded memory and never materialize an edge
+// list, so there is no sorted artifact to deposit and consuming one
+// would un-out-of-core the variant.  The kernel-2 matrix is resident
+// for kernel 3 regardless, so the matrix stage is shared.
+func (extsortVariant) CacheTraits() CacheTraits {
+	return CacheTraits{MatrixArtifact: true}
+}
+
 func (extsortVariant) runEdges(r *Run) int {
 	if r.Cfg.RunEdges > 0 {
 		return r.Cfg.RunEdges

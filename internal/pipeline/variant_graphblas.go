@@ -48,6 +48,7 @@ func (graphblasVariant) Kernel1(r *Run) error {
 	} else {
 		xsort.RadixByU(l)
 	}
+	r.SortedOut = l
 	return fastio.WriteStriped(r.FS, "k1", r.Codec(), r.Cfg.NFiles, l)
 }
 
@@ -59,7 +60,7 @@ func (graphblasVariant) Kernel1(r *Run) error {
 //	dout = GrB_reduce(A, +, rows)            // out-degree
 //	A    = GrB_apply(A, v / dout[i])         // row normalization
 func (graphblasVariant) Kernel2(r *Run) error {
-	l, err := fastio.ReadStriped(r.FS, "k1", r.Codec())
+	l, err := sortedEdges(r)
 	if err != nil {
 		return err
 	}
@@ -76,11 +77,15 @@ func (graphblasVariant) Kernel2(r *Run) error {
 		return d != maxDin && d != 1
 	})
 	dout := filtered.ReduceRows(graphblas.PlusFloat64)
+	// Normalize by multiplying with the reciprocal, exactly like
+	// sparse.ScaleRows: v/dout and v*(1/dout) round differently in the
+	// last ulp, and the kernel-2 matrix must be bit-identical across
+	// variants — it is the staged cache's exchange currency.
 	filtered.Apply(func(i, j int, v float64) float64 {
 		if dout[i] == 0 {
 			return v
 		}
-		return v / dout[i]
+		return v * (1 / dout[i])
 	})
 	r.GB = filtered
 	// Convert to CSR as well so cross-variant checks and mixed-kernel

@@ -34,6 +34,18 @@ func (parallelVariant) Description() string {
 	return "goroutine-parallel generation, striped I/O, merge sort and row-partitioned PageRank on a persistent worker team (the paper's parallel decomposition, allocation-free in steady state)"
 }
 
+// CacheTraits implements the optional staged-cache interface: this
+// variant participates in no stage.  Its per-worker jump streams draw
+// a different edge multiset than the serial generator — and a
+// different one per worker count (kronecker.GenerateParallel is
+// deterministic only for a fixed (cfg, workers)) — so none of its
+// artifacts, the kernel-2 matrix included, have the identity GraphKey
+// captures.  Serving a serial artifact here (or depositing this
+// variant's) would silently change documented output.
+func (parallelVariant) CacheTraits() CacheTraits {
+	return CacheTraits{}
+}
+
 func (parallelVariant) workers(r *Run) int {
 	if r.Cfg.Workers > 0 {
 		return r.Cfg.Workers

@@ -1,15 +1,16 @@
 // Package serve is the pipeline's service layer: a long-lived Service
 // that runs many benchmark pipelines concurrently under one roof — a
-// bounded run-admission queue, a shared singleflight generator cache
-// keyed by graph identity, context cancellation end to end, and a
-// streaming progress API.  It is the batch/streaming ingestion path of
-// the roadmap's production-scale goal: where the one-shot entrypoints
-// regenerate the Kronecker graph for every run, a Service generates each
-// distinct (generator, scale, edgeFactor, seed) graph exactly once and
-// shares the read-only edge list across every run that needs it.
+// bounded run-admission queue, a shared singleflight staged artifact
+// cache keyed by graph identity, context cancellation end to end, and
+// a streaming progress API.  It is the batch/streaming ingestion path
+// of the roadmap's production-scale goal: where the one-shot
+// entrypoints recompute everything for every run, a Service computes
+// each distinct artifact — the kernel-0 edge list, the kernel-1 sorted
+// list, the kernel-2 filtered matrix — exactly once and shares it
+// read-only across every run that needs it, so warm runs are K3-bound.
 //
-// core.NewService is the public constructor; DESIGN.md §8 specifies the
-// lifecycle and the cache contract.
+// core.NewService is the public constructor; DESIGN.md §8 specifies
+// the lifecycle and §12 the staged cache contract.
 package serve
 
 import (
@@ -59,13 +60,28 @@ func keyOf(cfg pipeline.Config) GraphKey {
 	}.normalize()
 }
 
+// sortedKeyOf derives the sorted stage's key.  The runner presents the
+// effective kernel-1 order in SortEndVertices (the columnar variant
+// always sorts by (u, v)), so runs that produce the same list order
+// share one entry regardless of variant.
+func sortedKeyOf(cfg pipeline.Config) cacheKey {
+	return cacheKey{stage: stageSorted, graph: keyOf(cfg), byUV: cfg.SortEndVertices}
+}
+
+// matrixKeyOf derives the matrix stage's key: graph identity × filter
+// rule.  The kernel-2 matrix is canonical across variants, sort order
+// and edge-file format, so nothing else participates.
+func matrixKeyOf(cfg pipeline.Config) cacheKey {
+	return cacheKey{stage: stageMatrix, graph: keyOf(cfg), filter: defaultFilterRule}
+}
+
 // Service is the long-lived run coordinator.  Construct it once with
 // New, share it between goroutines freely — all methods are safe for
 // concurrent use — and Close it when done accepting work.
 type Service struct {
-	sem    chan struct{} // admission: one slot per concurrently executing run
-	cache  *genCache     // nil when caching is disabled
-	closed chan struct{} // closed by Close; admit selects on it, so queued callers unblock
+	sem    chan struct{}  // admission: one slot per concurrently executing run
+	cache  *artifactCache // nil when caching is disabled
+	closed chan struct{}  // closed by Close; admit selects on it, so queued callers unblock
 
 	closeOnce sync.Once
 	mu        sync.Mutex
@@ -89,15 +105,36 @@ func WithMaxConcurrent(n int) Option {
 	return func(s *Service) { s.sem = make(chan struct{}, n) }
 }
 
-// WithCacheCapacity bounds the generator cache to n resident edge lists
-// (LRU-evicted beyond that); 0 disables the cache entirely, making every
-// run generate its own kernel-0 graph.  The default is 8.
+// WithCacheCapacity bounds the staged artifact cache to n resident
+// entries per stage (LRU-evicted beyond that); 0 disables the cache
+// entirely, making every run compute all of its own artifacts.  The
+// default is 8 per stage.
+//
+// Deprecated: use WithCacheBudget, which bounds the cache by what
+// actually matters — resident bytes — instead of entry counts.
 func WithCacheCapacity(n int) Option {
 	return func(s *Service) {
 		if n <= 0 {
 			s.cache = nil
 		} else {
-			s.cache = newGenCache(n)
+			s.cache = newArtifactCache(n, 0)
+		}
+	}
+}
+
+// WithCacheBudget bounds the staged artifact cache to the given number
+// of resident bytes across all stages, with edge lists and matrices
+// charged at their real in-memory footprint and the least-recently-used
+// artifact evicted first.  The most recently deposited artifact is
+// never evicted, so a single artifact larger than the budget stays
+// resident until the next deposit displaces it.  A budget <= 0 disables
+// the cache entirely.
+func WithCacheBudget(bytes int64) Option {
+	return func(s *Service) {
+		if bytes <= 0 {
+			s.cache = nil
+		} else {
+			s.cache = newArtifactCache(0, bytes)
 		}
 	}
 }
@@ -128,7 +165,7 @@ func (s *Service) checkpointFS() vfs.FS {
 func New(opts ...Option) *Service {
 	s := &Service{
 		sem:    make(chan struct{}, runtime.GOMAXPROCS(0)),
-		cache:  newGenCache(8),
+		cache:  newArtifactCache(8, 0),
 		closed: make(chan struct{}),
 	}
 	for _, o := range opts {
@@ -155,26 +192,53 @@ func (s *Service) isClosed() bool {
 	}
 }
 
+// StageStats is one staged-cache level's cumulative counters: a miss
+// computed an artifact, a hit shared one (resident or joined in
+// flight), Entries/Bytes are the currently resident footprint.
+type StageStats struct {
+	Hits    uint64
+	Misses  uint64
+	Entries int
+	Bytes   int64
+}
+
 // Stats is a point-in-time snapshot of the service's counters.
 type Stats struct {
 	// RunsStarted counts runs admitted since construction.
 	RunsStarted uint64
 	// RunsActive is the number of runs executing right now.
 	RunsActive int
-	// CacheHits and CacheMisses are the generator cache's cumulative
-	// counters: a miss generated a graph, a hit shared one (resident or
-	// joined in flight).  Both stay zero with the cache disabled.
+	// CacheHits and CacheMisses mirror CacheEdges' counters — the
+	// original generator-cache meters.  All cache counters stay zero
+	// with the cache disabled.
+	//
+	// Deprecated: read CacheEdges.
 	CacheHits   uint64
 	CacheMisses uint64
-	// CacheEntries is the number of edge lists currently resident.
+	// CacheEntries is the number of artifacts currently resident across
+	// all stages, and CacheBytes their summed footprint — the quantity
+	// WithCacheBudget bounds.
 	CacheEntries int
+	CacheBytes   int64
+	// CacheEdges, CacheSorted and CacheMatrix are the per-stage
+	// counters of the staged artifact cache: the raw kernel-0 edge
+	// list, the kernel-1 sorted list, and the kernel-2 filtered,
+	// normalized matrix.
+	CacheEdges  StageStats
+	CacheSorted StageStats
+	CacheMatrix StageStats
 }
 
 // Stats returns a snapshot of the service's counters.
 func (s *Service) Stats() Stats {
 	var st Stats
 	if s.cache != nil {
-		st.CacheHits, st.CacheMisses, st.CacheEntries = s.cache.stats()
+		st.CacheEdges = s.cache.stageStats(stageEdges)
+		st.CacheSorted = s.cache.stageStats(stageSorted)
+		st.CacheMatrix = s.cache.stageStats(stageMatrix)
+		st.CacheHits, st.CacheMisses = st.CacheEdges.Hits, st.CacheEdges.Misses
+		st.CacheEntries = st.CacheEdges.Entries + st.CacheSorted.Entries + st.CacheMatrix.Entries
+		st.CacheBytes = st.CacheEdges.Bytes + st.CacheSorted.Bytes + st.CacheMatrix.Bytes
 	}
 	s.mu.Lock()
 	st.RunsStarted = s.started
@@ -201,7 +265,7 @@ func (s *Service) Edges(ctx context.Context, key GraphKey) (*edge.List, error) {
 	if s.cache == nil {
 		return pipeline.GenerateEdges(cfg)
 	}
-	l, _, err := s.cache.get(ctx, key, func() (*edge.List, error) {
+	l, _, err := s.cache.edges(ctx, key, func() (*edge.List, error) {
 		return pipeline.GenerateEdges(cfg)
 	})
 	return l, err
@@ -252,13 +316,15 @@ func WithResumeKey(key string) RunOption {
 }
 
 // Run executes one pipeline under the service: the call is admitted
-// through the bounded run queue (waiting respects ctx), kernel 0 draws
-// from the shared generator cache, and ctx cancellation aborts the run
-// mid-kernel — through the kernel-3 engines' per-iteration checks and
-// the distributed runtime's teardown plane — with ctx's error.  The
-// Result's GenCache field records whether this run's graph came from the
-// cache.  Results are bit-for-bit those of the one-shot core.Run for the
-// same Config: caching changes who generates, never what is generated.
+// through the bounded run queue (waiting respects ctx), the kernels
+// draw from the shared staged artifact cache at the deepest resident
+// stage — a warm run skips K0–K2 outright and is K3-bound — and ctx
+// cancellation aborts the run mid-kernel (through the kernel-3
+// engines' per-iteration checks and the distributed runtime's teardown
+// plane) with ctx's error.  The Result's Cache field records the
+// per-stage hit/miss interaction.  Results are bit-for-bit those of
+// the one-shot core.Run for the same Config: caching changes who
+// computes an artifact, never what is computed.
 func (s *Service) Run(ctx context.Context, cfg pipeline.Config, opts ...RunOption) (*pipeline.Result, error) {
 	rs := runSettings{kernels: []pipeline.Kernel{
 		pipeline.K0Generate, pipeline.K1Sort, pipeline.K2Filter, pipeline.K3PageRank,
@@ -282,11 +348,28 @@ func (s *Service) Run(ctx context.Context, cfg pipeline.Config, opts ...RunOptio
 		}
 		cfg.Checkpoint.Resume = true
 	}
-	if s.cache != nil && cfg.Source == nil {
-		cfg.Source = func(dcfg pipeline.Config) (*edge.List, bool, error) {
-			return s.cache.get(ctx, keyOf(dcfg), func() (*edge.List, error) {
-				return pipeline.GenerateEdges(dcfg)
-			})
+	if s.cache != nil {
+		// The three staged-cache seams, deepest stage checked first by
+		// the runner: a matrix hit makes the run K3-bound, a sorted hit
+		// skips K0–K1, an edges hit skips generation.  Each closure
+		// captures ctx so waiting to join an in-flight fill respects
+		// this run's cancellation.
+		if cfg.Source == nil {
+			cfg.Source = func(dcfg pipeline.Config) (*edge.List, bool, error) {
+				return s.cache.edges(ctx, keyOf(dcfg), func() (*edge.List, error) {
+					return pipeline.GenerateEdges(dcfg)
+				})
+			}
+		}
+		if cfg.SortedSource == nil {
+			cfg.SortedSource = func(dcfg pipeline.Config) (pipeline.SortedLease, error) {
+				return s.cache.sortedLease(ctx, sortedKeyOf(dcfg))
+			}
+		}
+		if cfg.MatrixSource == nil {
+			cfg.MatrixSource = func(dcfg pipeline.Config) (pipeline.MatrixLease, error) {
+				return s.cache.matrixLease(ctx, matrixKeyOf(dcfg))
+			}
 		}
 	}
 	if rs.progress != nil {

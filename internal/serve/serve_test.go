@@ -27,9 +27,11 @@ func runCfg(variant string) pipeline.Config {
 }
 
 // TestSingleflightConcurrentRuns is the cache property test: N
-// concurrent runs of the same (generator, scale, edgeFactor, seed) must
-// perform exactly one kernel-0 generation — one miss, N-1 hits — and
-// return bit-identical results.
+// concurrent runs of the same (generator, scale, edgeFactor, seed)
+// share every staged artifact — the deepest stage, the kernel-2
+// matrix, is computed exactly once (one miss, N-1 hits), the shallower
+// stages are only ever touched by the one cold run — and all N return
+// bit-identical results.
 func TestSingleflightConcurrentRuns(t *testing.T) {
 	const n = 8
 	svc := serve.New(serve.WithMaxConcurrent(n))
@@ -51,10 +53,18 @@ func TestSingleflightConcurrentRuns(t *testing.T) {
 		}
 	}
 	st := svc.Stats()
-	if st.CacheMisses != 1 || st.CacheHits != n-1 {
-		t.Fatalf("want exactly 1 generation (%d hits), got %d misses / %d hits", n-1, st.CacheMisses, st.CacheHits)
+	if st.CacheMatrix.Misses != 1 || st.CacheMatrix.Hits != n-1 {
+		t.Fatalf("want exactly 1 matrix build (%d hits), got %d misses / %d hits",
+			n-1, st.CacheMatrix.Misses, st.CacheMatrix.Hits)
+	}
+	if st.CacheSorted.Misses != 1 || st.CacheSorted.Hits != 0 {
+		t.Fatalf("sorted stage: want 1 miss / 0 hits (only the cold run descends), got %+v", st.CacheSorted)
+	}
+	if st.CacheEdges.Misses != 1 || st.CacheEdges.Hits != 0 {
+		t.Fatalf("edges stage: want 1 miss / 0 hits (only the cold run descends), got %+v", st.CacheEdges)
 	}
 	ref := results[0]
+	warm := 0
 	for i, res := range results {
 		if res.NNZ != ref.NNZ {
 			t.Fatalf("run %d: NNZ %d != %d", i, res.NNZ, ref.NNZ)
@@ -67,9 +77,19 @@ func TestSingleflightConcurrentRuns(t *testing.T) {
 				t.Fatalf("run %d: rank differs at %d", i, j)
 			}
 		}
-		if res.GenCache == nil || res.GenCache.Hits+res.GenCache.Misses != 1 {
-			t.Fatalf("run %d: GenCache not metered: %+v", i, res.GenCache)
+		if res.Cache == nil || res.Cache.Matrix.Hits+res.Cache.Matrix.Misses != 1 {
+			t.Fatalf("run %d: matrix stage not metered: %+v", i, res.Cache)
 		}
+		if res.Cache.Matrix.Hits == 1 {
+			warm++
+		} else if res.GenCache == nil || res.GenCache.Misses != 1 {
+			// The one cold run descended all the way to generation and
+			// must still populate the deprecated edges-stage alias.
+			t.Fatalf("cold run %d: GenCache alias = %+v, want 1 miss", i, res.GenCache)
+		}
+	}
+	if warm != n-1 {
+		t.Fatalf("want %d matrix-warm runs, got %d", n-1, warm)
 	}
 }
 

@@ -37,6 +37,14 @@ const (
 	// complete epoch before iterating; Iteration carries the epoch's
 	// completed-iteration count.
 	EventCheckpointRestored
+	// EventCacheHit fires when the staged artifact cache serves an
+	// artifact; Kernel identifies the producing stage (K0Generate =
+	// edges, K1Sort = sorted list, K2Filter = matrix), whose kernels
+	// are skipped.
+	EventCacheHit
+	// EventCacheMiss fires when a consulted cache stage held no
+	// artifact; this run computes and deposits it.
+	EventCacheMiss
 )
 
 // String implements fmt.Stringer.
@@ -56,6 +64,10 @@ func (k EventKind) String() string {
 		return "checkpoint-saved"
 	case EventCheckpointRestored:
 		return "checkpoint-restored"
+	case EventCacheHit:
+		return "cache-hit"
+	case EventCacheMiss:
+		return "cache-miss"
 	default:
 		return "event?"
 	}
@@ -133,6 +145,7 @@ func (s *Service) RunStream(ctx context.Context, cfg pipeline.Config, opts ...Ru
 		case <-t.C:
 		}
 	}
+	//prlint:allow determinism -- stream pump, not kernel work: it relays events and the terminal Result; delivery timing never influences what the run computes
 	go func() {
 		defer close(ch)
 		all := make([]RunOption, 0, len(opts)+2)
@@ -152,6 +165,10 @@ func (s *Service) RunStream(ctx context.Context, cfg pipeline.Config, opts ...Ru
 					ev.Kind = EventCheckpointSaved
 				case pipeline.EventCheckpointRestored:
 					ev.Kind = EventCheckpointRestored
+				case pipeline.EventCacheHit:
+					ev.Kind = EventCacheHit
+				case pipeline.EventCacheMiss:
+					ev.Kind = EventCacheMiss
 				default:
 					return
 				}

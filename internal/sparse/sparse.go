@@ -29,6 +29,13 @@ type CSR struct {
 // NNZ returns the number of stored entries (including explicit zeros).
 func (a *CSR) NNZ() int { return len(a.Col) }
 
+// Footprint returns the matrix's in-memory size in bytes — the three
+// CSR arrays at their allocated capacity.  The service layer's staged
+// artifact cache charges resident matrices at this cost.
+func (a *CSR) Footprint() int64 {
+	return int64(cap(a.RowPtr))*8 + int64(cap(a.Col))*4 + int64(cap(a.Val))*8
+}
+
 // SumValues returns the sum of all stored values.  For the kernel-2
 // adjacency matrix before filtering this must equal M, the paper's
 // "all the entries in A should sum to M" check.
