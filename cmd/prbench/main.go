@@ -116,7 +116,7 @@ func main() {
 		maxScale    = flag.Int("maxscale", 18, "sweep: largest scale")
 		procs       = flag.Int("procs", 0, "run the distributed pipeline on this many processors (ranks)")
 		runEdges    = flag.Int("runedges", 0, "out-of-core run-buffer size in edges (extsort/distext variants; with -procs runs the out-of-core distributed sort)")
-		distMode    = flag.String("distmode", "", "distributed execution: sim or goroutine (empty = variant default); with -procs also 'both' to cross-check the modes")
+		distMode    = flag.String("distmode", "", "distributed execution: sim, goroutine or socket (empty = variant default); with -procs also 'both' (sim vs goroutine) or 'all' (every mode) to cross-check")
 		procSweep   = flag.String("procsweep", "", "comma-separated rank counts for a goroutine-mode wall-clock scaling table")
 		rankWorkers = flag.String("rankworkers", "1", "hybrid intra-rank worker goroutines per rank; a comma list crosses with -procsweep into a p×w table")
 		predict     = flag.Bool("predict", false, "print hardware-model predictions and exit")
@@ -205,10 +205,10 @@ func main() {
 		}
 		return
 	}
-	if *distMode == "both" {
-		// "both" is the cross-check spelling of the direct -procs runner;
-		// a pipeline run executes one variant in one mode.
-		fatal(fmt.Errorf("-distmode both requires -procs; use -distmode sim or goroutine with -variant"))
+	if *distMode == "both" || *distMode == "all" {
+		// "both"/"all" are the cross-check spellings of the direct -procs
+		// runner; a pipeline run executes one variant in one mode.
+		fatal(fmt.Errorf("-distmode %s requires -procs; use -distmode sim, goroutine or socket with -variant", *distMode))
 	}
 	if *sweep {
 		if *jsonOut {
@@ -852,6 +852,8 @@ func runDistributed(ctx context.Context, svc *core.Service, scale, edgeFactor in
 	switch mode {
 	case "both":
 		modes = append(modes, dist.ExecSim, dist.ExecGoroutine)
+	case "all":
+		modes = append(modes, dist.ExecSim, dist.ExecGoroutine, dist.ExecSocket)
 	default:
 		m, err := dist.ParseExecMode(mode)
 		if err != nil {
@@ -880,6 +882,16 @@ func runDistributed(ctx context.Context, svc *core.Service, scale, edgeFactor in
 		fmt.Printf("  broadcast calls:    %d (%.3g MB)\n", res.Comm.BroadcastCalls, float64(res.Comm.BroadcastBytes)/1e6)
 		predicted := dist.PredictedCommBytes(n, procs, res.Iterations, dangling)
 		fmt.Printf("  predicted comm:     %.3g MB\n", float64(predicted)/1e6)
+		if res.Wire != nil {
+			metered := res.Comm.AllToAllBytes + res.Comm.AllReduceBytes + res.Comm.BroadcastBytes
+			fmt.Printf("  socket wire:        %.3g MB payload over %d frames\n",
+				float64(res.Wire.DataBytes)/1e6, res.Wire.Frames)
+			if res.Wire.DataBytes != metered {
+				return fmt.Errorf("socket wire carried %d payload bytes but the collectives metered %d",
+					res.Wire.DataBytes, metered)
+			}
+			fmt.Println("  wire cross-check:   measured socket payload equals the metered comm bytes exactly")
+		}
 		if res.RankSeconds != nil {
 			slowest := 0.0
 			for _, s := range res.RankSeconds {
@@ -900,7 +912,7 @@ func runDistributed(ctx context.Context, svc *core.Service, scale, edgeFactor in
 					return fmt.Errorf("mode cross-check failed: rank vectors differ at %d", i)
 				}
 			}
-			fmt.Println("  cross-check:        sim and goroutine modes agree bit-for-bit, bytes included")
+			fmt.Printf("  cross-check:        %v agrees with %v bit-for-bit, bytes included\n", m, modes[0])
 		}
 	}
 	return nil

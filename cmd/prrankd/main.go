@@ -1,0 +1,53 @@
+// Command prrankd is a rank worker for the socket execution mode.  It
+// joins a coordinator's fabric, receives its rank and job over the
+// control link, exchanges messages with the other workers over a full
+// rank-to-rank socket mesh, and reports its outcome back to the
+// coordinator before exiting.
+//
+// A coordinator is any process that runs the distributed kernels with
+// dist.SocketSpec.External set: it listens on a well-known address and
+// admits exactly p workers that present the expected fabric id.  Start
+// the workers by hand (or from a launcher) with:
+//
+//	prrankd -join /tmp/prfabric/coord.sock -fabric 4f1d…
+//	prrankd -network tcp -join 127.0.0.1:7946 -fabric 4f1d…
+//
+// The process exits 0 after a clean run and 1 when the join or the run
+// fails — including a rejection by the fabric (wrong fabric id or a
+// full fabric).  Workers spawned by the coordinator itself (the
+// default, non-External socket mode) use the PRRANKD_JOIN/PRRANKD_FABRIC
+// environment instead of flags; any binary that imports the dist
+// package honours that environment, including this one.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/dist"
+)
+
+func main() {
+	var (
+		network = flag.String("network", "unix", "coordinator socket family: unix or tcp")
+		join    = flag.String("join", "", "coordinator address to join (unix socket path or host:port)")
+		fabric  = flag.String("fabric", "", "fabric id the coordinator expects (hex string)")
+	)
+	flag.Parse()
+	if *join == "" {
+		fatal(fmt.Errorf("-join is required: the coordinator's listen address"))
+	}
+	if *fabric == "" {
+		fatal(fmt.Errorf("-fabric is required: the id printed by the coordinator"))
+	}
+	if err := dist.JoinFabric(context.Background(), *network, *join, *fabric); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "prrankd:", err)
+	os.Exit(1)
+}

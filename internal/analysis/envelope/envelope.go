@@ -1,9 +1,10 @@
 // Package envelope enforces the pooled-envelope ownership rules of
 // DESIGN.md §5/§7: a vecMsg/keyMsg acquired from the fabric pool
-// (fabric.getVec/getKeys) or taken off a link (rankComm.recvVec/
-// recvKeyMsg) is owned by exactly one party, which must either release
-// it back to the pool (fabric.putVec/putKeys), hand it off over the
-// wire (rankComm.send), or pass ownership out of the function (return
+// (rankFabric/envPool getVec/getKeys) or taken off a link
+// (rankComm.recvVec/recvKeyMsg) is owned by exactly one party, which
+// must either release it back to the pool (putVec/putKeys), hand it off
+// over the wire (rankComm.send), or pass ownership out of the function
+// (return
 // it or store it away).  A leaked envelope silently grows the pool and
 // breaks the deterministic zero-allocation budget; touching an envelope
 // after release or handoff is a data race with the next owner.
@@ -543,12 +544,20 @@ func (c *checker) trackedIdent(x ast.Expr, e env) *types.Var {
 	return v
 }
 
+// poolRecvs are the named types whose getVec/getKeys mint a pooled
+// envelope and whose putVec/putKeys release one: the rankFabric
+// transport seam and the envPool free list every fabric embeds.
+var poolRecvs = []string{"rankFabric", "envPool"}
+
 // acquisitionMethod reports the acquiring method name when call mints a
-// pooled envelope: fabric.getVec/getKeys or rankComm.recvVec/recvKeyMsg.
+// pooled envelope: getVec/getKeys on a fabric or its pool, or
+// rankComm.recvVec/recvKeyMsg.
 func (c *checker) acquisitionMethod(call *ast.CallExpr) string {
 	for _, m := range []string{"getVec", "getKeys"} {
-		if _, ok := c.pass.MethodCallOn(call, "fabric", m); ok {
-			return m
+		for _, recv := range poolRecvs {
+			if _, ok := c.pass.MethodCallOn(call, recv, m); ok {
+				return m
+			}
 		}
 	}
 	for _, m := range []string{"recvVec", "recvKeyMsg"} {
@@ -563,11 +572,13 @@ func (c *checker) acquisitionMethod(call *ast.CallExpr) string {
 // released variable when the argument is a bare tracked identifier.
 func (c *checker) releaseArg(call *ast.CallExpr, e env) (v *types.Var, isRelease bool) {
 	for _, m := range []string{"putVec", "putKeys"} {
-		if _, ok := c.pass.MethodCallOn(call, "fabric", m); ok {
-			if len(call.Args) == 1 {
-				v = c.trackedIdent(call.Args[0], e)
+		for _, recv := range poolRecvs {
+			if _, ok := c.pass.MethodCallOn(call, recv, m); ok {
+				if len(call.Args) == 1 {
+					v = c.trackedIdent(call.Args[0], e)
+				}
+				return v, true
 			}
-			return v, true
 		}
 	}
 	return nil, false

@@ -7,24 +7,42 @@ type vecMsg struct{ buf []float64 }
 
 type keyMsg struct{ buf []uint64 }
 
-type fabric struct {
+// rankFabric mirrors the real transport seam: the interface rank
+// programs acquire and release envelopes through.
+type rankFabric interface {
+	getVec(n int) *vecMsg
+	putVec(m *vecMsg)
+	getKeys(n int) *keyMsg
+	putKeys(m *keyMsg)
+}
+
+// envPool mirrors the concrete free list every fabric embeds.
+type envPool struct {
 	freeVecs []*vecMsg
 	freeKeys []*keyMsg
 }
 
-func (f *fabric) getVec(n int) *vecMsg {
+func (pl *envPool) getVec(n int) *vecMsg {
 	return &vecMsg{buf: make([]float64, n)}
 }
 
-func (f *fabric) getKeys(n int) *keyMsg {
+func (pl *envPool) getKeys(n int) *keyMsg {
 	return &keyMsg{buf: make([]uint64, n)}
 }
 
-func (f *fabric) putVec(m *vecMsg)  { f.freeVecs = append(f.freeVecs, m) }
-func (f *fabric) putKeys(m *keyMsg) { f.freeKeys = append(f.freeKeys, m) }
+func (pl *envPool) putVec(m *vecMsg)  { pl.freeVecs = append(pl.freeVecs, m) }
+func (pl *envPool) putKeys(m *keyMsg) { pl.freeKeys = append(pl.freeKeys, m) }
+
+// okDirectPool exercises the concrete envPool receiver: a balanced
+// acquire/release straight on the pool, as the fabric implementations
+// themselves do.
+func okDirectPool(pl *envPool) {
+	m := pl.getVec(8)
+	pl.putVec(m)
+}
 
 type rankComm struct {
-	f    *fabric
+	f    rankFabric
 	rank int
 }
 

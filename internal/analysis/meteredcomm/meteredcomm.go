@@ -6,19 +6,29 @@
 // an unmetered side channel: results may stay right while the paper's
 // closed-form communication model silently becomes unfalsifiable.
 //
-// In any package that defines a `fabric` type, code outside
-// collective.go (tests exempt) may not:
+// In any package that defines the `rankFabric` interface, code outside
+// the fabric implementations (collective.go for the goroutine links,
+// sockfabric.go for the socket inboxes; tests exempt) may not:
 //
 //   - send on, receive from, close, or range over a channel reached
-//     through a fabric's links;
+//     through a chanFabric's links or a sockFabric's inbox;
 //   - call the raw rankComm send/recv primitives — rank programs speak
 //     collectives (allReduce*, broadcast*, gather*, exchange*,
 //     agreeError) or the typed recv helpers, never the wire directly.
+//
+// The socket mode adds a second metering seam (DESIGN.md §13): the
+// fabric package's Link is the ONLY place allowed to read or write a
+// net.Conn, because Link's write path is where wire bytes are counted.
+// In the dist and fabric packages, files other than link.go may not
+// call Read/Write on a net connection, nor wrap one in a bufio
+// reader/writer or feed it to the io copy helpers — any of those would
+// move bytes the Stats never see.
 package meteredcomm
 
 import (
 	"go/ast"
 	"go/token"
+	"go/types"
 	"path/filepath"
 
 	"repro/internal/analysis"
@@ -27,43 +37,69 @@ import (
 // Analyzer is the metered-communication checker.
 var Analyzer = &analysis.Analyzer{
 	Name: "meteredcomm",
-	Doc:  "DESIGN.md §5: all rank communication flows through the metered collectives in collective.go; raw fabric link operations elsewhere would break CommStats == PredictedCommBytes",
+	Doc:  "DESIGN.md §5/§13: all rank communication flows through the metered collectives in collective.go and the byte-counting Link in link.go; raw fabric link or net.Conn operations elsewhere would break CommStats == PredictedCommBytes",
 	Run:  run,
 }
 
+// chanFields maps each fabric implementation type to its link-channel
+// field: reaching one of these channels outside the implementation's
+// own file is an unmetered side channel.
+var chanFields = map[string]string{
+	"chanFabric": "links",
+	"sockFabric": "inbox",
+}
+
+// chanExempt names the files that ARE the metered layer for the channel
+// rule: collective.go owns the chanFabric links, sockfabric.go owns the
+// sockFabric inboxes.
+var chanExempt = map[string]bool{
+	"collective.go": true,
+	"sockfabric.go": true,
+}
+
 func run(pass *analysis.Pass) error {
-	if pass.Pkg.Scope().Lookup("fabric") == nil {
+	// The channel rule fires in packages that define the rank fabric
+	// seam; the net.Conn rule also covers the wire-format package, which
+	// has no rankFabric of its own.
+	rankPkg := pass.Pkg.Scope().Lookup("rankFabric") != nil
+	connPkg := rankPkg || pass.Pkg.Name() == "fabric"
+	if !connPkg {
 		return nil
 	}
 	for _, f := range pass.Files {
 		if pass.IsTestFile(f) {
 			continue
 		}
-		if filepath.Base(pass.Fset.Position(f.Package).Filename) == "collective.go" {
-			continue
-		}
+		base := filepath.Base(pass.Fset.Position(f.Package).Filename)
 		ast.Inspect(f, func(n ast.Node) bool {
 			switch n := n.(type) {
 			case *ast.SendStmt:
-				if touchesLinks(pass, n.Chan) {
+				if rankPkg && !chanExempt[base] && touchesLinks(pass, n.Chan) {
 					report(pass, n.Pos(), "send on a fabric link")
 				}
 			case *ast.UnaryExpr:
-				if n.Op == token.ARROW && touchesLinks(pass, n.X) {
+				if rankPkg && !chanExempt[base] && n.Op == token.ARROW && touchesLinks(pass, n.X) {
 					report(pass, n.Pos(), "receive from a fabric link")
 				}
 			case *ast.RangeStmt:
-				if touchesLinks(pass, n.X) {
+				if rankPkg && !chanExempt[base] && touchesLinks(pass, n.X) {
 					report(pass, n.Pos(), "range over a fabric link")
 				}
 			case *ast.CallExpr:
-				if id, ok := n.Fun.(*ast.Ident); ok && id.Name == "close" && len(n.Args) == 1 && touchesLinks(pass, n.Args[0]) {
-					report(pass, n.Pos(), "close of a fabric link")
-				}
-				for _, m := range []string{"send", "recv"} {
-					if _, ok := pass.MethodCallOn(n, "rankComm", m); ok {
-						report(pass, n.Pos(), "raw rankComm."+m+" call")
+				if rankPkg && !chanExempt[base] {
+					if id, ok := n.Fun.(*ast.Ident); ok && id.Name == "close" && len(n.Args) == 1 && touchesLinks(pass, n.Args[0]) {
+						report(pass, n.Pos(), "close of a fabric link")
 					}
+				}
+				if rankPkg && base != "collective.go" {
+					for _, m := range []string{"send", "recv"} {
+						if _, ok := pass.MethodCallOn(n, "rankComm", m); ok {
+							report(pass, n.Pos(), "raw rankComm."+m+" call")
+						}
+					}
+				}
+				if base != "link.go" {
+					checkConn(pass, n)
 				}
 			}
 			return true
@@ -76,16 +112,69 @@ func report(pass *analysis.Pass, pos token.Pos, what string) {
 	pass.Reportf(pos, "%s outside collective.go: all rank communication must go through the metered collectives (DESIGN.md §5)", what)
 }
 
-// touchesLinks reports whether expr reaches a channel through the links
-// field of a fabric value (f.links[i], c.f.links[…], …).
+// checkConn flags raw I/O on a net connection outside link.go: direct
+// Read/Write method calls, and handing the connection to the usual
+// wrappers (bufio.NewReader/NewWriter, io.ReadFull and friends) that
+// would carry bytes around the Link's Stats.
+func checkConn(pass *analysis.Pass, call *ast.CallExpr) {
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		if fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func); ok &&
+			fn.Pkg() != nil && fn.Pkg().Path() == "net" &&
+			(fn.Name() == "Read" || fn.Name() == "Write") {
+			pass.Reportf(call.Pos(), "raw net.Conn %s outside link.go: socket bytes must flow through the byte-counting Link (DESIGN.md §13)", fn.Name())
+			return
+		}
+	}
+	wrapper := pass.PkgFuncCall(call, "bufio", "NewReader", "NewWriter", "NewReaderSize", "NewWriterSize") ||
+		pass.PkgFuncCall(call, "io", "ReadFull", "ReadAtLeast", "ReadAll", "Copy", "CopyN", "CopyBuffer")
+	if !wrapper {
+		return
+	}
+	for _, arg := range call.Args {
+		if isNetConn(pass.TypesInfo.TypeOf(arg)) {
+			pass.Reportf(call.Pos(), "net.Conn handed to an unmetered I/O helper outside link.go: socket bytes must flow through the byte-counting Link (DESIGN.md §13)")
+			return
+		}
+	}
+}
+
+// isNetConn reports whether t is a connection type from package net —
+// the net.Conn interface itself or a concrete *net.TCPConn-style
+// connection that satisfies it.
+func isNetConn(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "net" {
+		return false
+	}
+	switch obj.Name() {
+	case "Conn", "TCPConn", "UnixConn", "UDPConn", "IPConn":
+		return true
+	}
+	return false
+}
+
+// touchesLinks reports whether expr reaches a channel through the link
+// field of a fabric implementation (f.links[i], c.f.links[…] on a
+// chanFabric; f.inbox[src] on a sockFabric).
 func touchesLinks(pass *analysis.Pass, expr ast.Expr) bool {
 	found := false
 	ast.Inspect(expr, func(n ast.Node) bool {
 		sel, ok := n.(*ast.SelectorExpr)
-		if !ok || sel.Sel.Name != "links" {
+		if !ok {
 			return true
 		}
-		if analysis.NamedTypeName(pass.TypesInfo.TypeOf(sel.X)) == "fabric" {
+		owner := analysis.NamedTypeName(pass.TypesInfo.TypeOf(sel.X))
+		if chanFields[owner] == sel.Sel.Name {
 			found = true
 		}
 		return true

@@ -4,32 +4,46 @@
 // are exempt — no diagnostics are expected in this file.
 package dist
 
-type fabric struct {
+// rankFabric is the seam the analyzer gates on: the package defining
+// this interface is the one whose link channels are guarded.
+type rankFabric interface {
+	procs() int
+	send(src, dst int, m any)
+	recv(src, dst int) any
+}
+
+type chanFabric struct {
 	p     int
 	links []chan any
 	done  chan struct{}
 }
 
-type rankComm struct {
-	f    *fabric
-	rank int
-}
+func (f *chanFabric) procs() int { return f.p }
 
-func (c *rankComm) send(dst int, m any) {
+func (f *chanFabric) send(src, dst int, m any) {
 	select {
-	case c.f.links[c.rank*c.f.p+dst] <- m:
-	case <-c.f.done:
+	case f.links[src*f.p+dst] <- m:
+	case <-f.done:
 	}
 }
 
-func (c *rankComm) recv(src int) any {
+func (f *chanFabric) recv(src, dst int) any {
 	select {
-	case m := <-c.f.links[src*c.f.p+c.rank]:
+	case m := <-f.links[src*f.p+dst]:
 		return m
-	case <-c.f.done:
+	case <-f.done:
 		return nil
 	}
 }
+
+type rankComm struct {
+	f    rankFabric
+	rank int
+}
+
+func (c *rankComm) send(dst int, m any) { c.f.send(c.rank, dst, m) }
+
+func (c *rankComm) recv(src int) any { return c.f.recv(src, c.rank) }
 
 // allReduce stands in for the metered collectives rank programs are
 // supposed to call.

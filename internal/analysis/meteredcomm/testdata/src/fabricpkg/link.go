@@ -1,0 +1,29 @@
+// This file plays the role of the real fabric/link.go: the one place
+// allowed to read and write a net.Conn, because its write path is where
+// wire bytes are counted.  No diagnostics are expected in this file.
+package dist
+
+import (
+	"bufio"
+	"io"
+	"net"
+)
+
+type link struct {
+	conn net.Conn
+	br   *bufio.Reader
+}
+
+func newLink(conn net.Conn) *link {
+	return &link{conn: conn, br: bufio.NewReader(conn)}
+}
+
+func (l *link) writeFrame(b []byte) error {
+	_, err := l.conn.Write(b)
+	return err
+}
+
+func (l *link) readFrame(b []byte) error {
+	_, err := io.ReadFull(l.br, b)
+	return err
+}

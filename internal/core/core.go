@@ -245,13 +245,15 @@ func SizeTable(scales []int, edgeFactor, bytesPerEdge int) []pipeline.SizeRow {
 var PaperScales = pipeline.PaperScales
 
 // ExecMode selects the distributed runtime's execution: the
-// single-threaded simulation or the concurrent goroutine ranks.
+// single-threaded simulation, the concurrent goroutine ranks, or worker
+// processes over real sockets.
 type ExecMode = dist.ExecMode
 
 // The distributed execution modes.
 const (
 	ExecSim       = dist.ExecSim
 	ExecGoroutine = dist.ExecGoroutine
+	ExecSocket    = dist.ExecSocket
 )
 
 // DistributedRun executes the simulated distributed kernel-2/kernel-3

@@ -84,8 +84,8 @@ func TestCollectiveRoundTripZeroAllocs(t *testing.T) {
 	// allocation on either side fails the pin.
 	const warmup, runs = 8, 50
 	const vecLen = 512
-	f := newFabric(2)
-	c0, c1 := f.comm(0), f.comm(1)
+	f := newChanFabric(2)
+	c0, c1 := newRankComm(f, 0), newRankComm(f, 1)
 	done := make(chan struct{})
 	go func() {
 		defer close(done)

@@ -104,6 +104,14 @@ type FaultPlan struct {
 	// DuringCheckpoint moves the fault between the rank's chunk write
 	// and the epoch commit; AtIteration must then be an epoch boundary.
 	DuringCheckpoint bool
+	// Hard, in the socket mode only, turns the failure into a genuine
+	// process death: the killed rank's worker calls os.Exit at the fault
+	// boundary instead of returning an error, so the coordinator observes
+	// a peer vanishing mid-run — the failure class checkpoint/restart
+	// exists for.  The run fails with the worker-death error rather than
+	// ErrFaultInjected.  Rejected in the sim and goroutine modes, which
+	// have no process to kill.
+	Hard bool
 }
 
 // ErrFaultInjected is the failure a FaultPlan's killed rank reports.
@@ -139,6 +147,51 @@ type ckptRun struct {
 	damping float64
 	base    int64
 	stats   CheckpointStats
+
+	// The relay seam (socket mode): on a worker process the storage the
+	// epochs land on lives with the coordinator, so the worker-side
+	// ckptRun has a nil spec.FS and relays chunk and commit writes over
+	// its control link instead (sockworker.go wires these).  relay marks
+	// checkpointing as enabled despite the nil FS; committed replaces
+	// noteCommitted (the coordinator keeps the stats, the Keep pruning
+	// and the OnCommit observer, since it performs the writes); hardExit
+	// implements FaultPlan.Hard (a genuine os.Exit, socket workers only).
+	relay     bool
+	putChunk  func(*ckpt.Chunk) error
+	putCommit func(epoch int64) error
+	committed func(epoch int64)
+	hardExit  func()
+}
+
+// enabled reports whether the runtime checkpoints — locally or by relay.
+func (ck *ckptRun) enabled() bool { return ck.spec.enabled() || ck.relay }
+
+// writeChunk lands one epoch chunk: directly on spec.FS, or through the
+// relay on a socket worker.
+func (ck *ckptRun) writeChunk(c *ckpt.Chunk) error {
+	if ck.putChunk != nil {
+		return ck.putChunk(c)
+	}
+	return ckpt.WriteChunk(ck.spec.FS, ck.spec.Prefix, c)
+}
+
+// writeCommit lands the epoch commit marker, directly or by relay.
+func (ck *ckptRun) writeCommit(g int64) error {
+	if ck.putCommit != nil {
+		return ck.putCommit(g)
+	}
+	return ckpt.WriteCommit(ck.spec.FS, ck.spec.Prefix, g, ck.n, ck.procs, ck.damping)
+}
+
+// commitNoted records a committed epoch, locally or at the relay's far
+// end (where the coordinator already recorded it when it wrote the
+// commit — the worker-side hook is a no-op there).
+func (ck *ckptRun) commitNoted(g int64) {
+	if ck.committed != nil {
+		ck.committed(g)
+		return
+	}
+	ck.noteCommitted(g)
 }
 
 // prepareCheckpoint validates the spec's checkpoint/fault configuration
@@ -178,6 +231,9 @@ func prepareCheckpoint(spec *Spec, n int) (*ckptRun, *Result, error) {
 		}
 		if f.AtIteration < 1 || f.AtIteration > total {
 			return nil, nil, fmt.Errorf("dist: fault plan at iteration %d of %d", f.AtIteration, total)
+		}
+		if f.Hard && spec.Mode != ExecSocket {
+			return nil, nil, fmt.Errorf("dist: hard fault plan requires the socket mode, not %v (no process to kill)", spec.Mode)
 		}
 		if f.DuringCheckpoint {
 			if !spec.Checkpoint.enabled() {
@@ -280,6 +336,17 @@ func (ck *ckptRun) chunkOf(g int64, r []float64, rank, lo, hi int) *ckpt.Chunk {
 	}
 }
 
+// die implements FaultPlan.Hard at a fault boundary: on a socket worker
+// it never returns (os.Exit); everywhere else it is a no-op and the
+// caller returns ErrFaultInjected as usual (prepareCheckpoint rejects
+// Hard outside the socket mode, so hardExit is always wired when Hard
+// can be set).
+func (ck *ckptRun) die() {
+	if ck.fault.Hard && ck.hardExit != nil {
+		ck.hardExit()
+	}
+}
+
 // atFault reports whether the fault plan fires at global iteration g.
 func (ck *ckptRun) atFault(g int64) bool {
 	return ck.fault != nil && int64(ck.fault.AtIteration) == g
@@ -287,7 +354,7 @@ func (ck *ckptRun) atFault(g int64) bool {
 
 // epochBoundary reports whether g closes an epoch.
 func (ck *ckptRun) epochBoundary(g int64) bool {
-	return ck.spec.enabled() && g%int64(ck.spec.Every) == 0
+	return ck.enabled() && g%int64(ck.spec.Every) == 0
 }
 
 // afterSim builds the simulation's post-iteration hook: the single
@@ -304,7 +371,7 @@ func (ck *ckptRun) afterSim(states []*rankState) func(int, []float64) error {
 		g := ck.base + int64(it)
 		if ck.epochBoundary(g) {
 			for rk, st := range states {
-				if err := ckpt.WriteChunk(ck.spec.FS, ck.spec.Prefix, ck.chunkOf(g, r, rk, st.blk.lo, st.blk.hi)); err != nil {
+				if err := ck.writeChunk(ck.chunkOf(g, r, rk, st.blk.lo, st.blk.hi)); err != nil {
 					return err
 				}
 			}
@@ -312,10 +379,10 @@ func (ck *ckptRun) afterSim(states []*rankState) func(int, []float64) error {
 				// Died after the chunks, before the commit: a torn epoch.
 				return ErrFaultInjected
 			}
-			if err := ckpt.WriteCommit(ck.spec.FS, ck.spec.Prefix, g, ck.n, ck.procs, ck.damping); err != nil {
+			if err := ck.writeCommit(g); err != nil {
 				return err
 			}
-			ck.noteCommitted(g)
+			ck.commitNoted(g)
 		}
 		if ck.atFault(g) {
 			return ErrFaultInjected
@@ -342,8 +409,9 @@ func (ck *ckptRun) afterRank(c *rankComm, lo, hi int) func(int, []float64) error
 		g := ck.base + int64(it)
 		killed := ck.atFault(g) && c.rank == ck.fault.KillRank
 		if ck.epochBoundary(g) {
-			werr := ckpt.WriteChunk(ck.spec.FS, ck.spec.Prefix, ck.chunkOf(g, r, c.rank, lo, hi))
+			werr := ck.writeChunk(ck.chunkOf(g, r, c.rank, lo, hi))
 			if killed && ck.fault.DuringCheckpoint {
+				ck.die()
 				return ErrFaultInjected
 			}
 			if err := c.agreeError(werr); err != nil {
@@ -351,16 +419,17 @@ func (ck *ckptRun) afterRank(c *rankComm, lo, hi int) func(int, []float64) error
 			}
 			var cerr error
 			if c.rank == 0 {
-				cerr = ckpt.WriteCommit(ck.spec.FS, ck.spec.Prefix, g, ck.n, ck.procs, ck.damping)
+				cerr = ck.writeCommit(g)
 			}
 			if err := c.agreeError(cerr); err != nil {
 				return err
 			}
 			if c.rank == 0 {
-				ck.noteCommitted(g)
+				ck.commitNoted(g)
 			}
 		}
 		if killed {
+			ck.die()
 			return ErrFaultInjected
 		}
 		return nil

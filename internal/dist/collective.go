@@ -46,12 +46,54 @@ import (
 // linkBuf is the per-link channel capacity.  Two sends is the most any
 // rank issues on one link before a synchronizing receive (the kernel-2
 // edge outbox followed by the matrix-mass contribution); the slack above
-// that only loosens the lockstep, it is not needed for liveness.
+// that only loosens the lockstep, it is not needed for liveness.  The
+// socket fabric's per-peer inboxes use the same capacity, and the OS
+// socket buffers behind them only add slack — which, per the same
+// argument, cannot introduce a deadlock.
 const linkBuf = 4
 
-// fabric is the message plane of one goroutine run: p² dedicated links
-// plus the shared envelope pools and the teardown plane.
-type fabric struct {
+// rankFabric is the transport seam: the message plane one rankComm
+// speaks through.  chanFabric (below) implements it over in-process channels;
+// sockFabric (sockfabric.go) implements it over real socket links
+// between OS processes.  Every implementation must provide per-link
+// FIFO, exactly-once delivery, effective per-link buffering of at least
+// linkBuf messages, envelope pooling, and a teardown plane whose trip
+// makes every blocked or subsequent link operation panic fabricDown —
+// the contract DESIGN.md §5/§8 state and the collectives below assume.
+type rankFabric interface {
+	// procs returns the fabric's rank count p.
+	procs() int
+	// send delivers m on the (src, dst) link, or panics fabricDown if
+	// the fabric comes down first.  Envelope ownership transfers with
+	// the message (DESIGN.md §7).
+	send(src, dst int, m any)
+	// recv takes the next message on the (src, dst) link, or panics
+	// fabricDown if the fabric comes down first.
+	recv(src, dst int) any
+	// abort trips the teardown plane; idempotent, safe from any
+	// goroutine.
+	abort()
+	// The pooled-envelope plane (DESIGN.md §7): getVec/getKeys take an
+	// envelope from the fabric's free lists, putVec/putKeys release one.
+	getVec(n int) *vecMsg
+	putVec(m *vecMsg)
+	getKeys(n int) *keyMsg
+	putKeys(m *keyMsg)
+}
+
+// envPool is the shared envelope free-list implementation embedded by
+// every fabric: a plain mutex-protected list — rather than a sync.Pool —
+// keeps the steady-state allocation count deterministically zero,
+// because the garbage collector cannot empty it between iterations.
+type envPool struct {
+	mu       sync.Mutex
+	freeVecs []*vecMsg
+	freeKeys []*keyMsg
+}
+
+// chanFabric is the in-process message plane of one goroutine run: p²
+// dedicated links plus the shared envelope pools and the teardown plane.
+type chanFabric struct {
 	p     int
 	links []chan any // links[src*p+dst]
 
@@ -65,19 +107,13 @@ type fabric struct {
 	done      chan struct{}
 	abortOnce sync.Once
 
-	// mu guards the envelope free lists.  A plain mutex-protected list —
-	// rather than a sync.Pool — keeps the steady-state allocation count
-	// deterministically zero: the garbage collector cannot empty it
-	// between iterations.
-	mu       sync.Mutex
-	freeVecs []*vecMsg
-	freeKeys []*keyMsg
+	envPool
 }
 
 // abort trips the teardown plane.  Idempotent and safe from any
 // goroutine; every subsequent (and every currently blocked) link
 // operation panics fabricDown.
-func (f *fabric) abort() { f.abortOnce.Do(func() { close(f.done) }) }
+func (f *chanFabric) abort() { f.abortOnce.Do(func() { close(f.done) }) }
 
 // fabricDown is the sentinel a link operation panics with after abort;
 // spawnRanks' per-rank recover converts it into errRunAborted.  Any other
@@ -92,25 +128,48 @@ type vecMsg struct{ buf []float64 }
 // splitters.
 type keyMsg struct{ buf []uint64 }
 
-func newFabric(p int) *fabric {
-	f := &fabric{p: p, links: make([]chan any, p*p), done: make(chan struct{})}
+func newChanFabric(p int) *chanFabric {
+	f := &chanFabric{p: p, links: make([]chan any, p*p), done: make(chan struct{})}
 	for i := range f.links {
 		f.links[i] = make(chan any, linkBuf)
 	}
 	return f
 }
 
+func (f *chanFabric) procs() int { return f.p }
+
+// send delivers m to dst's inbound link from src, or unwinds if the
+// fabric comes down first (the select adds no allocation to the hot path).
+func (f *chanFabric) send(src, dst int, m any) {
+	select {
+	case f.links[src*f.p+dst] <- m:
+	case <-f.done:
+		panic(fabricDown{})
+	}
+}
+
+// recv takes the next message on the (src, dst) link, or unwinds if the
+// fabric comes down first.
+func (f *chanFabric) recv(src, dst int) any {
+	select {
+	case m := <-f.links[src*f.p+dst]:
+		return m
+	case <-f.done:
+		panic(fabricDown{})
+	}
+}
+
 // getVec takes a float envelope of length n from the pool (allocating
 // only when the pool is dry — in steady state it never is).
-func (f *fabric) getVec(n int) *vecMsg {
-	f.mu.Lock()
+func (pl *envPool) getVec(n int) *vecMsg {
+	pl.mu.Lock()
 	var m *vecMsg
-	if last := len(f.freeVecs) - 1; last >= 0 {
-		m = f.freeVecs[last]
-		f.freeVecs[last] = nil
-		f.freeVecs = f.freeVecs[:last]
+	if last := len(pl.freeVecs) - 1; last >= 0 {
+		m = pl.freeVecs[last]
+		pl.freeVecs[last] = nil
+		pl.freeVecs = pl.freeVecs[:last]
 	}
-	f.mu.Unlock()
+	pl.mu.Unlock()
 	if m == nil {
 		m = &vecMsg{}
 	}
@@ -123,22 +182,22 @@ func (f *fabric) getVec(n int) *vecMsg {
 
 // putVec releases a float envelope back to the pool.  The caller must not
 // touch it afterwards.
-func (f *fabric) putVec(m *vecMsg) {
-	f.mu.Lock()
-	f.freeVecs = append(f.freeVecs, m)
-	f.mu.Unlock()
+func (pl *envPool) putVec(m *vecMsg) {
+	pl.mu.Lock()
+	pl.freeVecs = append(pl.freeVecs, m)
+	pl.mu.Unlock()
 }
 
 // getKeys and putKeys are the key-envelope counterparts.
-func (f *fabric) getKeys(n int) *keyMsg {
-	f.mu.Lock()
+func (pl *envPool) getKeys(n int) *keyMsg {
+	pl.mu.Lock()
 	var m *keyMsg
-	if last := len(f.freeKeys) - 1; last >= 0 {
-		m = f.freeKeys[last]
-		f.freeKeys[last] = nil
-		f.freeKeys = f.freeKeys[:last]
+	if last := len(pl.freeKeys) - 1; last >= 0 {
+		m = pl.freeKeys[last]
+		pl.freeKeys[last] = nil
+		pl.freeKeys = pl.freeKeys[:last]
 	}
-	f.mu.Unlock()
+	pl.mu.Unlock()
 	if m == nil {
 		m = &keyMsg{}
 	}
@@ -149,45 +208,40 @@ func (f *fabric) getKeys(n int) *keyMsg {
 	return m
 }
 
-func (f *fabric) putKeys(m *keyMsg) {
-	f.mu.Lock()
-	f.freeKeys = append(f.freeKeys, m)
-	f.mu.Unlock()
+func (pl *envPool) putKeys(m *keyMsg) {
+	pl.mu.Lock()
+	pl.freeKeys = append(pl.freeKeys, m)
+	pl.mu.Unlock()
 }
 
-// comm returns rank r's handle on the fabric.
-func (f *fabric) comm(r int) *rankComm { return &rankComm{f: f, rank: r} }
+// newRankComm returns rank r's handle on a fabric.
+
+func newRankComm(f rankFabric, r int) *rankComm { return &rankComm{f: f, rank: r} }
 
 // rankComm is one rank's view of the fabric: its identity, its send
 // endpoints, and its private communication record (summed by the driver
 // after the ranks join, so no counter is shared between goroutines).
+// The fabric behind it may be the channel plane or the socket plane —
+// the collectives below are transport-agnostic, which is what makes the
+// three execution modes' CommStats equal by construction.
 type rankComm struct {
-	f    *fabric
+	f    rankFabric
 	rank int
 	st   CommStats
 }
 
-func (c *rankComm) procs() int { return c.f.p }
+func (c *rankComm) procs() int { return c.f.procs() }
 
-// send delivers m to dst's inbound link from this rank, or unwinds if the
-// fabric comes down first (the select adds no allocation to the hot path).
+// send delivers m to dst's inbound link from this rank, or unwinds if
+// the fabric comes down first.
 func (c *rankComm) send(dst int, m any) {
-	select {
-	case c.f.links[c.rank*c.f.p+dst] <- m:
-	case <-c.f.done:
-		panic(fabricDown{})
-	}
+	c.f.send(c.rank, dst, m)
 }
 
 // recv takes the next message on the link from src, or unwinds if the
 // fabric comes down first.
 func (c *rankComm) recv(src int) any {
-	select {
-	case m := <-c.f.links[src*c.f.p+c.rank]:
-		return m
-	case <-c.f.done:
-		panic(fabricDown{})
-	}
+	return c.f.recv(src, c.rank)
 }
 
 // recvVec takes the next message from src, which the schedule guarantees

@@ -95,6 +95,10 @@ type Spec struct {
 	// iteration (OpRun and OpRunMatrix; see FaultPlan) — the chaos
 	// suite's instrument.
 	Fault *FaultPlan
+	// Socket configures the socket execution mode (ExecSocket only; see
+	// SocketSpec).  The zero value is a private unix-domain fabric with
+	// self-spawned workers.
+	Socket SocketSpec
 }
 
 // Outcome is the result of one Execute: exactly one field is non-nil,
@@ -137,9 +141,9 @@ func Execute(ctx context.Context, spec Spec) (*Outcome, error) {
 		ctx = context.Background()
 	}
 	switch spec.Mode {
-	case ExecSim, ExecGoroutine:
+	case ExecSim, ExecGoroutine, ExecSocket:
 	default:
-		return nil, fmt.Errorf("dist: unknown execution mode %v", spec.Mode)
+		return nil, fmt.Errorf("dist: unknown execution mode %v (valid modes: %s)", spec.Mode, validExecModes)
 	}
 	if spec.Op != OpRun && spec.Op != OpRunMatrix {
 		if spec.Checkpoint.enabled() {
@@ -159,9 +163,12 @@ func Execute(ctx context.Context, spec Spec) (*Outcome, error) {
 			return &Outcome{Run: done}, nil
 		}
 		var res *Result
-		if spec.Mode == ExecSim {
+		switch spec.Mode {
+		case ExecSim:
 			res, err = runSim(ctx, spec.Config, spec.Edges, spec.N, spec.Procs, spec.PageRank, ck)
-		} else {
+		case ExecSocket:
+			res, err = runSocket(ctx, spec, ck)
+		default:
 			res, err = runGoroutine(ctx, spec.Config, spec.Edges, spec.N, spec.Procs, spec.PageRank, ck)
 		}
 		if err != nil {
@@ -181,9 +188,12 @@ func Execute(ctx context.Context, spec Spec) (*Outcome, error) {
 			return &Outcome{Run: done}, nil
 		}
 		var res *Result
-		if spec.Mode == ExecSim {
+		switch spec.Mode {
+		case ExecSim:
 			res, err = runMatrixSim(ctx, spec.Config, spec.Matrix, spec.Procs, spec.PageRank, ck)
-		} else {
+		case ExecSocket:
+			res, err = runSocket(ctx, spec, ck)
+		default:
 			res, err = runMatrixGoroutine(ctx, spec.Config, spec.Matrix, spec.Procs, spec.PageRank, ck)
 		}
 		if err != nil {
@@ -194,9 +204,12 @@ func Execute(ctx context.Context, spec Spec) (*Outcome, error) {
 	case OpBuildFiltered:
 		var res *BuildResult
 		var err error
-		if spec.Mode == ExecSim {
+		switch spec.Mode {
+		case ExecSim:
 			res, err = buildFilteredSim(ctx, spec.Edges, spec.N, spec.Procs)
-		} else {
+		case ExecSocket:
+			res, err = buildFilteredSocket(ctx, spec)
+		default:
 			res, err = buildFilteredGoroutine(ctx, spec.Edges, spec.N, spec.Procs)
 		}
 		if err != nil {
@@ -206,9 +219,12 @@ func Execute(ctx context.Context, spec Spec) (*Outcome, error) {
 	case OpSort:
 		var res *SortResult
 		var err error
-		if spec.Mode == ExecSim {
+		switch spec.Mode {
+		case ExecSim:
 			res, err = sortSim(ctx, spec.Config, spec.Edges, spec.Procs)
-		} else {
+		case ExecSocket:
+			res, err = sortSocket(ctx, spec)
+		default:
 			res, err = sortGoroutine(ctx, spec.Config, spec.Edges, spec.Procs)
 		}
 		if err != nil {
@@ -216,7 +232,7 @@ func Execute(ctx context.Context, spec Spec) (*Outcome, error) {
 		}
 		return &Outcome{Sort: res}, nil
 	case OpSortExternal:
-		res, err := executeSortExternal(ctx, spec.Mode, spec.Edges, spec.Procs, spec.Ext)
+		res, err := executeSortExternal(ctx, spec)
 		if err != nil {
 			return nil, err
 		}

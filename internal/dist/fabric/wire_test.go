@@ -1,0 +1,291 @@
+package fabric
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math"
+	"net"
+	"testing"
+
+	"repro/internal/edge"
+)
+
+func TestHeaderRoundTrip(t *testing.T) {
+	var b [HeaderSize]byte
+	want := Header{Type: FrameSegments, Src: 3, Dst: 7, Len: 12345}
+	PutHeader(b[:], want)
+	got, err := ParseHeader(b[:], 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("round trip: got %+v, want %+v", got, want)
+	}
+}
+
+func TestParseHeaderRejects(t *testing.T) {
+	valid := func() []byte {
+		var b [HeaderSize]byte
+		PutHeader(b[:], Header{Type: FrameVec, Src: 0, Dst: 1, Len: 8})
+		return b[:]
+	}
+	cases := []struct {
+		name   string
+		mutate func(b []byte)
+		maxLen int64
+	}{
+		{"short", func(b []byte) {}, 0}, // truncated below
+		{"magic", func(b []byte) { b[0] = 'X' }, 0},
+		{"version", func(b []byte) { binary.LittleEndian.PutUint16(b[4:6], Version+1) }, 0},
+		{"type-zero", func(b []byte) { binary.LittleEndian.PutUint16(b[6:8], 0) }, 0},
+		{"type-high", func(b []byte) { binary.LittleEndian.PutUint16(b[6:8], 999) }, 0},
+		{"oversized", func(b []byte) { binary.LittleEndian.PutUint64(b[16:24], 1<<40) }, 0},
+		{"over-custom-limit", func(b []byte) { binary.LittleEndian.PutUint64(b[16:24], 100) }, 64},
+	}
+	for _, tc := range cases {
+		b := valid()
+		tc.mutate(b)
+		if tc.name == "short" {
+			b = b[:HeaderSize-1]
+		}
+		if _, err := ParseHeader(b, tc.maxLen); err == nil {
+			t.Errorf("%s: ParseHeader accepted a corrupt header", tc.name)
+		}
+	}
+}
+
+func TestPayloadRoundTrips(t *testing.T) {
+	vec := []float64{0, 1.5, -2.25, math.Inf(1), math.Copysign(0, -1)}
+	b := AppendVec(nil, vec)
+	if len(b) != 8*len(vec) {
+		t.Fatalf("vec payload %d bytes, want %d", len(b), 8*len(vec))
+	}
+	got := make([]float64, len(vec))
+	if err := DecodeVec(b, got); err != nil {
+		t.Fatal(err)
+	}
+	for i := range vec {
+		if math.Float64bits(got[i]) != math.Float64bits(vec[i]) {
+			t.Fatalf("vec[%d]: got %v, want %v", i, got[i], vec[i])
+		}
+	}
+
+	keys := []uint64{0, 1, 1 << 63, ^uint64(0)}
+	kb := AppendKeys(nil, keys)
+	kg := make([]uint64, len(keys))
+	if err := DecodeKeys(kb, kg); err != nil {
+		t.Fatal(err)
+	}
+	for i := range keys {
+		if kg[i] != keys[i] {
+			t.Fatalf("keys[%d]: got %d, want %d", i, kg[i], keys[i])
+		}
+	}
+
+	l := edge.NewList(3)
+	l.Append(1, 2)
+	l.Append(3, 4)
+	l.Append(5, 6)
+	eb := AppendEdges(nil, l)
+	if len(eb) != 16*l.Len() {
+		t.Fatalf("edges payload %d bytes, want %d", len(eb), 16*l.Len())
+	}
+	eg := edge.NewList(0)
+	if err := DecodeEdges(eb, eg); err != nil {
+		t.Fatal(err)
+	}
+	if !l.Equal(eg) {
+		t.Fatal("edges round trip mismatch")
+	}
+
+	empty := edge.NewList(0)
+	segs := []*edge.List{l, empty, eg}
+	sb := AppendSegments(nil, segs)
+	wantData := uint64(16 * (l.Len() + eg.Len()))
+	if uint64(len(sb)) != wantData+SegmentsOverhead(len(segs)) {
+		t.Fatalf("segments payload %d bytes, want %d data + %d overhead",
+			len(sb), wantData, SegmentsOverhead(len(segs)))
+	}
+	sg, err := DecodeSegments(sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sg) != len(segs) {
+		t.Fatalf("got %d segments, want %d", len(sg), len(segs))
+	}
+	for i := range segs {
+		if !segs[i].Equal(sg[i]) {
+			t.Fatalf("segment %d mismatch", i)
+		}
+	}
+}
+
+func TestDecodeRejectsMalformedPayloads(t *testing.T) {
+	if err := DecodeVec(make([]byte, 7), make([]float64, 0)); err == nil {
+		t.Error("DecodeVec accepted a ragged payload")
+	}
+	if err := DecodeKeys(make([]byte, 9), make([]uint64, 1)); err == nil {
+		t.Error("DecodeKeys accepted a ragged payload")
+	}
+	if err := DecodeEdges(make([]byte, 15), edge.NewList(0)); err == nil {
+		t.Error("DecodeEdges accepted a ragged payload")
+	}
+	// Segment count far beyond the payload must be rejected before any
+	// allocation sized from it.
+	b := binary.LittleEndian.AppendUint32(nil, 1<<30)
+	if _, err := DecodeSegments(b); err == nil {
+		t.Error("DecodeSegments accepted an absurd segment count")
+	}
+	// An edge count beyond the remaining bytes.
+	b = binary.LittleEndian.AppendUint32(nil, 1)
+	b = binary.LittleEndian.AppendUint32(b, 1000)
+	if _, err := DecodeSegments(b); err == nil {
+		t.Error("DecodeSegments accepted an oversized edge count")
+	}
+	// Trailing garbage after the last segment.
+	b = AppendSegments(nil, []*edge.List{edge.NewList(0)})
+	b = append(b, 0xFF)
+	if _, err := DecodeSegments(b); err == nil {
+		t.Error("DecodeSegments accepted trailing bytes")
+	}
+}
+
+func TestHandshakeRoundTrips(t *testing.T) {
+	j := Join{FabricID: "fab-1", MeshNetwork: "unix", MeshAddr: "/tmp/x.sock"}
+	gotJ, err := ParseJoin(AppendJoin(nil, j))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotJ != j {
+		t.Fatalf("join: got %+v, want %+v", gotJ, j)
+	}
+
+	w := Welcome{Rank: 2, Procs: 4, MeshNetwork: "tcp",
+		MeshAddrs: []string{"a:1", "b:2", "", "d:4"}}
+	gotW, err := ParseWelcome(AppendWelcome(nil, w))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotW.Rank != w.Rank || gotW.Procs != w.Procs || gotW.MeshNetwork != w.MeshNetwork {
+		t.Fatalf("welcome: got %+v, want %+v", gotW, w)
+	}
+	for i := range w.MeshAddrs {
+		if gotW.MeshAddrs[i] != w.MeshAddrs[i] {
+			t.Fatalf("welcome addr %d: got %q, want %q", i, gotW.MeshAddrs[i], w.MeshAddrs[i])
+		}
+	}
+
+	h := MeshHello{FabricID: "fab-1", Src: 3, Dst: 1}
+	gotH, err := ParseMeshHello(AppendMeshHello(nil, h))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotH != h {
+		t.Fatalf("mesh hello: got %+v, want %+v", gotH, h)
+	}
+}
+
+func TestHandshakeRejects(t *testing.T) {
+	// Rank out of range.
+	b := AppendWelcome(nil, Welcome{Rank: 4, Procs: 4, MeshNetwork: "unix", MeshAddrs: make([]string, 4)})
+	if _, err := ParseWelcome(b); err == nil {
+		t.Error("ParseWelcome accepted rank >= p")
+	}
+	// Absurd p.
+	b = appendU32(appendU32(nil, 0), maxProcs+1)
+	if _, err := ParseWelcome(b); err == nil {
+		t.Error("ParseWelcome accepted absurd p")
+	}
+	// Truncations of every message type.
+	full := AppendJoin(nil, Join{FabricID: "f", MeshNetwork: "unix", MeshAddr: "a"})
+	for cut := 0; cut < len(full); cut++ {
+		if _, err := ParseJoin(full[:cut]); err == nil {
+			t.Fatalf("ParseJoin accepted a %d-byte truncation", cut)
+		}
+	}
+	fullH := AppendMeshHello(nil, MeshHello{FabricID: "f", Src: 1, Dst: 0})
+	for cut := 0; cut < len(fullH); cut++ {
+		if _, err := ParseMeshHello(fullH[:cut]); err == nil {
+			t.Fatalf("ParseMeshHello accepted a %d-byte truncation", cut)
+		}
+	}
+}
+
+// TestLinkFrameAccounting pins the three accounting planes over a real
+// socket pair: data bytes at exactly the wire-cost formulas, control
+// bytes for control payloads, headers and segment boundaries as
+// overhead — and reads counting nothing.
+func TestLinkFrameAccounting(t *testing.T) {
+	c1, c2 := net.Pipe()
+	var wst, rst Stats
+	w := NewLink(c1, -1, &wst) // net.Pipe has no deadline support in use here
+	r := NewLink(c2, -1, &rst)
+	defer w.Close()
+	defer r.Close()
+
+	errc := make(chan error, 1)
+	go func() {
+		if err := w.WriteVec(0, 1, []float64{1, 2, 3}); err != nil {
+			errc <- err
+			return
+		}
+		l := edge.NewList(2)
+		l.Append(7, 8)
+		l.Append(9, 10)
+		if err := w.WriteSegments(0, 1, []*edge.List{l}); err != nil {
+			errc <- err
+			return
+		}
+		errc <- w.WriteControl(FrameString, 0, 1, []byte("boom"))
+	}()
+
+	h, payload, err := r.ReadFrame()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Type != FrameVec || h.Len != 24 {
+		t.Fatalf("frame 1: %+v", h)
+	}
+	got := make([]float64, 3)
+	if err := DecodeVec(payload, got); err != nil {
+		t.Fatal(err)
+	}
+	if h, _, err = r.ReadFrame(); err != nil || h.Type != FrameSegments {
+		t.Fatalf("frame 2: %+v, %v", h, err)
+	}
+	if h, payload, err = r.ReadFrame(); err != nil || h.Type != FrameString || string(payload) != "boom" {
+		t.Fatalf("frame 3: %+v, %v", h, err)
+	}
+	if err := <-errc; err != nil {
+		t.Fatal(err)
+	}
+
+	c := wst.Snapshot()
+	wantData := uint64(8*3 + 16*2)
+	wantControl := uint64(len("boom"))
+	wantOverhead := uint64(3*HeaderSize) + SegmentsOverhead(1)
+	if c.DataBytes != wantData || c.ControlBytes != wantControl || c.OverheadBytes != wantOverhead || c.Frames != 3 {
+		t.Fatalf("writer counters %+v, want data %d control %d overhead %d frames 3",
+			c, wantData, wantControl, wantOverhead)
+	}
+	if rc := rst.Snapshot(); rc != (Counters{}) {
+		t.Fatalf("reader counted %+v, want nothing (write-side accounting only)", rc)
+	}
+}
+
+// TestLinkRejectsCorruptStream pins that a reader fed garbage fails
+// instead of allocating or hanging.
+func TestLinkRejectsCorruptStream(t *testing.T) {
+	c1, c2 := net.Pipe()
+	var st Stats
+	r := NewLink(c2, -1, &st)
+	defer r.Close()
+	go func() {
+		defer c1.Close()
+		junk := bytes.Repeat([]byte{0xAB}, HeaderSize)
+		c1.Write(junk)
+	}()
+	if _, _, err := r.ReadFrame(); err == nil {
+		t.Fatal("ReadFrame accepted a garbage header")
+	}
+}

@@ -37,7 +37,19 @@ const (
 	// messages over channels; results and byte counts equal ExecSim's
 	// bit for bit, and wall clock scales with the host's cores.
 	ExecGoroutine
+	// ExecSocket runs p ranks as separate OS processes exchanging real
+	// messages over unix-domain or TCP sockets (socket.go; DESIGN.md
+	// §13).  Results, CommStats and spill records equal the other two
+	// modes' bit for bit, and the measured socket payload bytes equal
+	// the metered CommStats — the paper's comm model tested against
+	// bytes on an actual wire.
+	ExecSocket
 )
+
+// validExecModes names every mode ParseExecMode accepts, for error
+// messages — the single list both unknown-mode errors quote, so the two
+// cannot drift.
+const validExecModes = "sim, goroutine, socket"
 
 // String implements fmt.Stringer.
 func (m ExecMode) String() string {
@@ -46,6 +58,8 @@ func (m ExecMode) String() string {
 		return "sim"
 	case ExecGoroutine:
 		return "goroutine"
+	case ExecSocket:
+		return "socket"
 	default:
 		return fmt.Sprintf("mode?(%d)", int(m))
 	}
@@ -59,8 +73,10 @@ func ParseExecMode(s string) (ExecMode, error) {
 		return ExecSim, nil
 	case "goroutine", "go":
 		return ExecGoroutine, nil
+	case "socket", "sock":
+		return ExecSocket, nil
 	default:
-		return 0, fmt.Errorf("dist: unknown execution mode %q (want sim or goroutine)", s)
+		return 0, fmt.Errorf("dist: unknown execution mode %q (valid modes: %s)", s, validExecModes)
 	}
 }
 
@@ -216,7 +232,7 @@ func spawnRanks(ctx context.Context, p int, program func(c *rankComm) rankOutcom
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	f := newFabric(p)
+	f := newChanFabric(p)
 	var stopWatch chan struct{}
 	if ctx.Done() != nil {
 		stopWatch = make(chan struct{})
@@ -234,7 +250,7 @@ func spawnRanks(ctx context.Context, p int, program func(c *rankComm) rankOutcom
 	seconds := make([]float64, p)
 	var wg sync.WaitGroup
 	for r := 0; r < p; r++ {
-		comms[r] = f.comm(r)
+		comms[r] = newRankComm(f, r)
 		wg.Add(1)
 		//prlint:allow determinism -- the rank spawner IS the simulated machine; ranks sync only through the metered fabric and join on wg
 		go func(r int) {

@@ -8,6 +8,7 @@ package dist_test
 // noise.  Run under -race in CI.
 
 import (
+	"strings"
 	"testing"
 
 	"repro/internal/dist"
@@ -240,16 +241,73 @@ func TestParseExecMode(t *testing.T) {
 	for s, want := range map[string]dist.ExecMode{
 		"": dist.ExecSim, "sim": dist.ExecSim,
 		"goroutine": dist.ExecGoroutine, "go": dist.ExecGoroutine,
+		"socket": dist.ExecSocket, "sock": dist.ExecSocket,
 	} {
 		got, err := dist.ParseExecMode(s)
 		if err != nil || got != want {
 			t.Errorf("ParseExecMode(%q) = %v, %v", s, got, err)
 		}
 	}
-	if _, err := dist.ParseExecMode("mpi"); err == nil {
-		t.Error("unknown mode string accepted")
-	}
-	if dist.ExecSim.String() != "sim" || dist.ExecGoroutine.String() != "goroutine" {
+	if dist.ExecSim.String() != "sim" || dist.ExecGoroutine.String() != "goroutine" || dist.ExecSocket.String() != "socket" {
 		t.Error("mode strings changed")
+	}
+}
+
+func TestUnknownExecModeErrors(t *testing.T) {
+	// An unknown mode — misspelled on the command line or an out-of-range
+	// enum value reaching Execute — must fail with an error that names the
+	// offending value and lists every valid mode, so the user can fix the
+	// spelling without reading source.
+	l, n := kron(t, 5, 1)
+	cases := []struct {
+		name string
+		run  func() error
+		want []string // substrings the error must contain
+	}{
+		{
+			name: "parse misspelled string",
+			run: func() error {
+				_, err := dist.ParseExecMode("mpi")
+				return err
+			},
+			want: []string{`"mpi"`, "sim, goroutine, socket"},
+		},
+		{
+			name: "parse socket typo",
+			run: func() error {
+				_, err := dist.ParseExecMode("sockets")
+				return err
+			},
+			want: []string{`"sockets"`, "sim, goroutine, socket"},
+		},
+		{
+			name: "run with out-of-range enum",
+			run: func() error {
+				_, err := dist.RunMode(dist.ExecMode(42), l, n, 2, pagerank.Options{})
+				return err
+			},
+			want: []string{"42", "sim, goroutine, socket"},
+		},
+		{
+			name: "sort with out-of-range enum",
+			run: func() error {
+				_, err := dist.SortMode(dist.ExecMode(7), l, 2)
+				return err
+			},
+			want: []string{"7", "sim, goroutine, socket"},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.run()
+			if err == nil {
+				t.Fatal("unknown execution mode accepted")
+			}
+			for _, w := range tc.want {
+				if !strings.Contains(err.Error(), w) {
+					t.Errorf("error %q does not mention %q", err, w)
+				}
+			}
+		})
 	}
 }

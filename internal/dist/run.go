@@ -44,6 +44,11 @@ type Result struct {
 	// Checkpoint reports what the checkpoint/restart machinery did; nil
 	// when the Spec enabled neither checkpointing nor resume.
 	Checkpoint *CheckpointStats
+	// Wire is the measured socket traffic, summed over the workers' mesh
+	// links (ExecSocket only, else nil).  Wire.DataBytes equals Comm's
+	// total byte count identically — the metered model tested against an
+	// actual network.
+	Wire *WireStats
 }
 
 // BuildResult is the outcome of the distributed kernel 2 alone.
@@ -59,6 +64,8 @@ type BuildResult struct {
 	NNZ int
 	// Comm records the edge routing and the in-degree all-reduce.
 	Comm CommStats
+	// Wire is the measured socket traffic (ExecSocket only, else nil).
+	Wire *WireStats
 }
 
 // rankState is one processor's share of the matrix: the rectangular row

@@ -43,6 +43,8 @@ type SortResult struct {
 	// Comm records the sample gather, splitter broadcast and all-to-all
 	// edge exchange.
 	Comm CommStats
+	// Wire is the measured socket traffic (ExecSocket only, else nil).
+	Wire *WireStats
 }
 
 // sampleChunk draws up to SamplesPerRank evenly spaced start-vertex keys

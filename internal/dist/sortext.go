@@ -101,6 +101,8 @@ type ExtSortResult struct {
 	Spill vfs.IOStats
 	// SpillCodec names the codec that encoded the run files.
 	SpillCodec string
+	// Wire is the measured socket traffic (ExecSocket only, else nil).
+	Wire *WireStats
 }
 
 // extRunName names rank r's run file number run under prefix.
@@ -197,21 +199,34 @@ func SortExternalMode(mode ExecMode, l *edge.List, p int, cfg ExtSortConfig) (*E
 // spill metering live here, once, so the two modes cannot drift on the
 // input contract; both produce bit-for-bit identical output and identical
 // CommStats and Spill records.
-func executeSortExternal(ctx context.Context, mode ExecMode, l *edge.List, p int, cfg ExtSortConfig) (*ExtSortResult, error) {
+func executeSortExternal(ctx context.Context, spec Spec) (*ExtSortResult, error) {
+	l, p := spec.Edges, spec.Procs
 	if l == nil {
 		return nil, fmt.Errorf("dist: SortExternal of nil edge list")
 	}
 	if p < 1 {
 		return nil, fmt.Errorf("dist: SortExternal with p = %d, want >= 1", p)
 	}
-	cfg = cfg.withDefaults()
+	cfg := spec.Ext.withDefaults()
 	if l.Len() == 0 {
 		return &ExtSortResult{Sorted: edge.NewList(0), RunsPerRank: make([]int, p)}, nil
+	}
+	if spec.Mode == ExecSocket {
+		// Each worker process meters its own private spill store; the
+		// coordinator sums the per-rank records instead of wrapping a
+		// shared meter (socket.go).
+		spec.Ext = cfg
+		res, err := sortExternalSocket(ctx, spec)
+		if err != nil {
+			return nil, err
+		}
+		res.SpillCodec = cfg.Codec.Name()
+		return res, nil
 	}
 	meter := vfs.NewMetered(cfg.FS)
 	var res *ExtSortResult
 	var err error
-	switch mode {
+	switch spec.Mode {
 	case ExecSim:
 		res, err = sortExternalSim(ctx, l, p, cfg, meter)
 	case ExecGoroutine:

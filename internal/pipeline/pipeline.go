@@ -92,9 +92,10 @@ type Config struct {
 	// paper's "should the end vertices also be sorted?" open question.
 	SortEndVertices bool
 	// DistMode overrides the execution mode of the dist/distgo variants'
-	// runtime: "sim" (single-threaded simulation) or "goroutine"
-	// (concurrent ranks with real message passing).  Empty keeps the
-	// selected variant's default.
+	// runtime: "sim" (single-threaded simulation), "goroutine"
+	// (concurrent ranks with real message passing) or "socket" (worker
+	// processes over unix-domain sockets).  Empty keeps the selected
+	// variant's default.
 	DistMode string
 	// RankWorkers is the hybrid intra-rank worker count of the dist
 	// variants' runtime (dist.Config.Workers): each rank's local kernel-3

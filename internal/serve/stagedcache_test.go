@@ -155,6 +155,41 @@ func TestWarmVsColdBitForBitDistSweep(t *testing.T) {
 	}
 }
 
+// TestWarmVsColdBitForBitSocketMode extends the warm-vs-cold pin to the
+// socket execution mode: the warm run hands the cached canonical matrix
+// to worker *processes* over the wire and must still agree with its own
+// cold run bit for bit.  Kept to two processor counts — each run spawns
+// p OS processes — the full p grid for sockets lives in
+// internal/dist/socket_test.go.
+func TestWarmVsColdBitForBitSocketMode(t *testing.T) {
+	if testing.Short() {
+		t.Skip("socket warm-vs-cold spawns worker processes; skipped in -short mode")
+	}
+	for _, p := range []int{1, 3} {
+		svc := serve.New()
+		cfg := runCfg("distgo")
+		cfg.Workers = p
+		cfg.DistMode = "socket"
+		ctx := context.Background()
+		cold, err := svc.Run(ctx, cfg)
+		if err != nil {
+			t.Fatalf("p=%d cold: %v", p, err)
+		}
+		warm, err := svc.Run(ctx, cfg)
+		if err != nil {
+			t.Fatalf("p=%d warm: %v", p, err)
+		}
+		if warm.Cache == nil || warm.Cache.Matrix.Hits != 1 {
+			t.Fatalf("p=%d warm: Cache = %+v, want a matrix hit", p, warm.Cache)
+		}
+		if len(warm.Kernels) != 1 || warm.Kernels[0].Kernel != pipeline.K3PageRank {
+			t.Fatalf("p=%d warm executed %v, want [K3]", p, warm.Kernels)
+		}
+		assertBitEqualRanks(t, "socket warm-vs-cold", cold.Rank, warm.Rank)
+		svc.Close()
+	}
+}
+
 // TestWarmRunEmitsNoKernel012Events pins the "zero K0-K2 work" claim at
 // the event level: a warm streaming run emits a matrix cache-hit and
 // kernel events for kernel 3 only.
